@@ -1,0 +1,89 @@
+// E8 -- codec feasibility (Section IV-A): throughput of the [n, k] MDS
+// code with k = n - 5f and Berlekamp-Welch error decoding.
+//
+// google-benchmark microbenchmarks: encode, erasure-only decode (fast
+// interpolation path), and decode under the full Lemma 4 error budget
+// (f Byzantine-garbage + f stale elements). Expected shape: encode/decode
+// scale linearly in value size; error decoding costs a small constant
+// factor over the clean path thanks to the error-locator fast path.
+#include <benchmark/benchmark.h>
+
+#include "codec/mds_code.h"
+#include "common/rng.h"
+#include "workload/workload.h"
+
+using namespace bftreg;
+
+namespace {
+
+void bm_encode(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t f = static_cast<size_t>(state.range(1));
+  const size_t size = static_cast<size_t>(state.range(2));
+  const auto code = codec::MdsCode::for_bcsr(n, f);
+  const Bytes value = workload::make_value(1, 0, size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(value));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+  state.counters["k"] = static_cast<double>(code.k());
+}
+
+void bm_decode_clean(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t f = static_cast<size_t>(state.range(1));
+  const size_t size = static_cast<size_t>(state.range(2));
+  const auto code = codec::MdsCode::for_bcsr(n, f);
+  const Bytes value = workload::make_value(1, 0, size);
+  const auto elements = code.encode(value);
+  std::vector<std::optional<Bytes>> received(n);
+  for (size_t i = 0; i < n - f; ++i) received[i] = elements[i];  // f erasures
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(received));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+
+void bm_decode_adversarial(benchmark::State& state) {
+  // The Lemma 4 worst case: f garbage + f stale among n-f received.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t f = static_cast<size_t>(state.range(1));
+  const size_t size = static_cast<size_t>(state.range(2));
+  const auto code = codec::MdsCode::for_bcsr(n, f);
+  const Bytes value = workload::make_value(1, 0, size);
+  const Bytes old_value = workload::make_value(1, 1, size);
+  const auto elements = code.encode(value);
+  const auto old_elements = code.encode(old_value);
+  Rng rng(7);
+  std::vector<std::optional<Bytes>> received(n);
+  for (size_t i = 0; i < n - f; ++i) received[i] = elements[i];
+  for (size_t i = 0; i < f; ++i) {
+    // garbage of the right size
+    Bytes junk(elements[i].size());
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.uniform(256));
+    received[i] = junk;
+    received[f + i] = old_elements[f + i];  // stale
+  }
+  for (auto _ : state) {
+    auto out = code.decode(received);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+
+void codec_args(benchmark::internal::Benchmark* b) {
+  for (int64_t size : {1 << 10, 16 << 10, 256 << 10}) {
+    b->Args({6, 1, size});    // n = 5f+1, k = 1 (worst storage ratio)
+    b->Args({11, 1, size});   // k = 6
+    b->Args({16, 2, size});   // k = 6, f = 2
+    b->Args({21, 3, size});   // k = 6, f = 3
+  }
+}
+
+BENCHMARK(bm_encode)->Apply(codec_args)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_decode_clean)->Apply(codec_args)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_decode_adversarial)->Apply(codec_args)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E1 -- read latency and round counts (paper claims: Definition 3, Section
+// I-B, Section I-D).
+//
+// Claim reproduced: BSR, BCSR and the history variant complete reads in ONE
+// round of client-to-server communication; the two-round variant takes two;
+// the RB-based baseline's reads are one round only in quiet periods and
+// stretch under concurrent writes while write latency always carries the RB
+// tax. Expected shape: the "rounds" column is exactly 1 / 1 / 2 / 1 / >=1,
+// and under contention the baseline's p99 read latency exceeds BSR's.
+#include "bench_util.h"
+
+using namespace bftreg;
+using namespace bftreg::bench;
+
+int main() {
+  std::printf("E1: read latency (one-shot reads)\n");
+  std::printf("fixed one-way delay = 1000 ns => 1 round == 2000 ns\n\n");
+
+  const struct {
+    harness::Protocol protocol;
+    size_t f;
+  } rows[] = {
+      {harness::Protocol::kBsr, 1},        {harness::Protocol::kBsr, 2},
+      {harness::Protocol::kBsr, 3},        {harness::Protocol::kBsrHistory, 1},
+      {harness::Protocol::kBsrHistory, 2}, {harness::Protocol::kBsr2R, 1},
+      {harness::Protocol::kBsr2R, 2},      {harness::Protocol::kBcsr, 1},
+      {harness::Protocol::kBcsr, 2},       {harness::Protocol::kRb, 1},
+      {harness::Protocol::kRb, 2},         {harness::Protocol::kBsrWb, 1},
+      {harness::Protocol::kBsrWb, 2},
+  };
+
+  TextTable table({"protocol", "n", "f", "read rounds", "quiescent med (us)",
+                   "worst-phase med (us)", "worst-phase p99 (us)"});
+  for (const auto& row : rows) {
+    const size_t n = harness::min_servers(row.protocol, row.f);
+    // Fixed delay: exact round counting.
+    const auto fixed =
+        run_quiescent(row.protocol, n, row.f, 50, 1, 1000, 1000);
+    // Uniform random delay, read racing a write; worst arrival phase.
+    const auto contended =
+        run_contended_worst(row.protocol, n, row.f, 40, 2, 500, 1500);
+    table.add_row({to_string(row.protocol), std::to_string(n),
+                   std::to_string(row.f), TextTable::fmt(fixed.read_rounds_mode, 1),
+                   fmt_us(fixed.reads.median()), fmt_us(contended.reads.median()),
+                   fmt_us(contended.reads.p99())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape check: BSR/BCSR/history reads = 1.0 rounds at every n (one-shot,\n"
+      "Def. 3) and stay ~1 round even in their worst read-arrival phase; 2R\n"
+      "pays exactly one extra round for regularity. The RB baseline's read is\n"
+      "also ~1 round against honest servers -- the RB tax lands on its writes\n"
+      "(E2: 1.5x) and message complexity (E7: Theta(n^2) per write), which is\n"
+      "precisely the paper's argument for dropping RB. The write-back\n"
+      "extension (BSR-WB) shows the atomicity price: 2 rounds, as the\n"
+      "semi-fast impossibility result [13] requires.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Shared helpers for the experiment binaries (E1-E8 + ablations).
+//
+// Each bench binary regenerates one quantitative claim of the paper (see
+// DESIGN.md §5 for the experiment index and EXPERIMENTS.md for recorded
+// results). Helpers here build clusters, drive standard workloads, and
+// collect virtual-time latency samples.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+#include "harness/sim_cluster.h"
+#include "workload/workload.h"
+
+namespace bftreg::bench {
+
+inline harness::ClusterOptions make_options(harness::Protocol protocol, size_t n,
+                                            size_t f, uint64_t seed,
+                                            TimeNs delay_lo, TimeNs delay_hi) {
+  harness::ClusterOptions o;
+  o.protocol = protocol;
+  o.config.n = n;
+  o.config.f = f;
+  o.num_writers = 2;
+  o.num_readers = 2;
+  o.seed = seed;
+  o.delay_lo = delay_lo;
+  o.delay_hi = delay_hi;
+  return o;
+}
+
+struct LatencySamples {
+  Samples reads;
+  Samples writes;
+  double read_rounds_mode{0};  // latency / one-way delay, fixed-delay runs
+};
+
+/// Quiescent workload: alternating writes and reads, nothing concurrent.
+/// With delay_lo == delay_hi the read latency divided by the delay is the
+/// protocol's exact round count.
+inline LatencySamples run_quiescent(harness::Protocol protocol, size_t n, size_t f,
+                                    size_t ops, uint64_t seed, TimeNs delay_lo,
+                                    TimeNs delay_hi, size_t value_size = 64) {
+  harness::SimCluster cluster(
+      make_options(protocol, n, f, seed, delay_lo, delay_hi));
+  LatencySamples out;
+  for (size_t i = 0; i < ops; ++i) {
+    const auto w = cluster.write(0, workload::make_value(seed, i, value_size));
+    out.writes.add(static_cast<double>(w.completed_at - w.invoked_at));
+    const auto r = cluster.read(0);
+    out.reads.add(static_cast<double>(r.completed_at - r.invoked_at));
+  }
+  if (delay_lo == delay_hi && delay_lo > 0) {
+    out.read_rounds_mode = out.reads.median() / (2.0 * static_cast<double>(delay_lo));
+  }
+  return out;
+}
+
+/// Reads racing an in-flight write. The read is launched `offset` after
+/// the write starts, so by sweeping the offset a caller can hit every
+/// phase of the write's dissemination (get-tag, put-data in flight,
+/// servers split old/new) and find the protocol's worst read-arrival
+/// phase.
+inline LatencySamples run_contended(harness::Protocol protocol, size_t n, size_t f,
+                                    size_t ops, uint64_t seed, TimeNs delay_lo,
+                                    TimeNs delay_hi, TimeNs offset,
+                                    size_t value_size = 64) {
+  harness::SimCluster cluster(
+      make_options(protocol, n, f, seed, delay_lo, delay_hi));
+  LatencySamples out;
+  uint64_t counter = 0;
+  for (size_t i = 0; i < ops; ++i) {
+    const uint64_t wid =
+        cluster.start_write(0, workload::make_value(seed, counter++, value_size));
+    cluster.sim().run_until_time(cluster.sim().now() + offset);
+    const uint64_t rid = cluster.start_read(0);
+    cluster.await(rid);
+    const auto& r = cluster.read_result(rid);
+    out.reads.add(static_cast<double>(r.completed_at - r.invoked_at));
+    cluster.await(wid);
+    const auto& w = cluster.write_result(wid);
+    out.writes.add(static_cast<double>(w.completed_at - w.invoked_at));
+  }
+  return out;
+}
+
+/// Worst-phase contended read latency: sweeps the read's arrival offset
+/// across the whole write (0..8 mean one-way delays) and returns the
+/// samples of the worst offset by median.
+inline LatencySamples run_contended_worst(harness::Protocol protocol, size_t n,
+                                          size_t f, size_t ops_per_offset,
+                                          uint64_t seed, TimeNs delay_lo,
+                                          TimeNs delay_hi) {
+  const TimeNs mean = (delay_lo + delay_hi) / 2;
+  LatencySamples worst;
+  for (int phase = 0; phase <= 16; ++phase) {
+    auto s = run_contended(protocol, n, f, ops_per_offset, seed + phase,
+                           delay_lo, delay_hi, mean * phase / 2);
+    if (worst.reads.count() == 0 || s.reads.median() > worst.reads.median()) {
+      worst = std::move(s);
+    }
+  }
+  return worst;
+}
+
+inline std::string fmt_us(double ns) { return TextTable::fmt(ns / 1000.0, 1); }
+
+}  // namespace bftreg::bench

@@ -1,0 +1,113 @@
+// Ablation -- the cost of durability (library extension, storage/).
+//
+// google-benchmark microbenchmarks: WAL append throughput by record size,
+// replay speed, compaction, and the end-to-end overhead a persistent
+// server adds to a PUT application versus the in-memory server. Expected
+// shape: appends are sequential-write cheap; replay is linear; the
+// persistent server costs one buffered write + flush per applied PUT.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "registers/registers.h"
+#include "sim/simulator.h"
+#include "storage/persistent_server.h"
+#include "workload/workload.h"
+
+using namespace bftreg;
+
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() /
+          ("bftreg_bench_" + stem + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+storage::WalRecord make_record(uint64_t num, size_t value_size) {
+  return storage::WalRecord{0, Tag{num, ProcessId::writer(0)},
+                            workload::make_value(1, num, value_size)};
+}
+
+void bm_wal_append(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  const std::string path = temp_path("append");
+  std::remove(path.c_str());
+  storage::WriteAheadLog wal(path);
+  uint64_t num = 1;
+  for (auto _ : state) {
+    wal.append(make_record(num++, value_size));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * value_size));
+  std::remove(path.c_str());
+}
+
+void bm_wal_replay(benchmark::State& state) {
+  const size_t records = static_cast<size_t>(state.range(0));
+  const std::string path = temp_path("replay");
+  std::remove(path.c_str());
+  {
+    storage::WriteAheadLog wal(path);
+    for (uint64_t i = 1; i <= records; ++i) wal.append(make_record(i, 128));
+  }
+  for (auto _ : state) {
+    auto result = storage::WriteAheadLog::replay(path);
+    benchmark::DoNotOptimize(result);
+    if (result.records.size() != records) state.SkipWithError("bad replay");
+  }
+  state.counters["records"] = static_cast<double>(records);
+  std::remove(path.c_str());
+}
+
+/// Put application cost: persistent vs in-memory server.
+template <bool kDurable>
+void bm_server_put(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  sim::Simulator sim(sim::SimConfig::with_fixed_delay(1, 10));
+  registers::SystemConfig cfg;
+  cfg.n = 5;
+  cfg.f = 1;
+  cfg.max_history = 4;  // bound memory across millions of iterations
+
+  const std::string path = temp_path("srv");
+  std::remove(path.c_str());
+  std::unique_ptr<registers::RegisterServer> server;
+  if constexpr (kDurable) {
+    server = std::make_unique<storage::PersistentRegisterServer>(
+        ProcessId::server(0), cfg, &sim, Bytes{}, path);
+  } else {
+    server = std::make_unique<registers::RegisterServer>(ProcessId::server(0), cfg,
+                                                         &sim, Bytes{});
+  }
+
+  uint64_t num = 1;
+  const Bytes value = workload::make_value(1, 0, value_size);
+  for (auto _ : state) {
+    registers::RegisterMessage m;
+    m.type = registers::MsgType::kPutData;
+    m.tag = Tag{num++, ProcessId::writer(0)};
+    m.value = value;
+    net::Envelope env;
+    env.from = ProcessId::writer(0);
+    env.to = ProcessId::server(0);
+    env.payload = m.encode();
+    server->on_message(env);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * value_size));
+  server.reset();
+  std::remove(path.c_str());
+}
+
+void bm_server_put_memory(benchmark::State& state) { bm_server_put<false>(state); }
+void bm_server_put_durable(benchmark::State& state) { bm_server_put<true>(state); }
+
+BENCHMARK(bm_wal_append)->Arg(64)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_wal_replay)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_server_put_memory)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_server_put_durable)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

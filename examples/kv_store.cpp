@@ -1,0 +1,179 @@
+// kv_store: a Byzantine-tolerant key-value store on real threads.
+//
+// The paper motivates safe registers with geo-replicated key-value storage
+// (Cassandra, Redis; Section I). This example runs ONE five-server BSR
+// cluster on the thread-per-process runtime (actual OS threads, wall-clock
+// delays) and multiplexes every key over it as a separate shared variable
+// (object id) -- the model's "finite set of shared variables" of Section
+// II-B. One server is Byzantine throughout. The store is then driven with
+// the read-heavy mix from the paper's TAO footnote (99.8% reads), printing
+// wall-clock latency percentiles that show why one-shot reads matter.
+//
+//   ./build/examples/kv_store
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/byzantine_server.h"
+#include "common/stats.h"
+#include "registers/registers.h"
+#include "runtime/thread_network.h"
+#include "workload/workload.h"
+
+using namespace bftreg;
+
+namespace {
+
+/// One 5-server BSR cluster serving arbitrarily many keys: each key maps
+/// to an object id; a writer/reader client pair is created lazily per key.
+class KvStore {
+ public:
+  /// `max_keys` client pairs are registered up front: processes cannot
+  /// join a running ThreadNetwork (as in a real deployment, clients are
+  /// provisioned with their key ranges).
+  explicit KvStore(size_t max_keys) {
+    runtime::RuntimeConfig rc;
+    rc.seed = 7;
+    // Emulate a fast LAN: 50-200 microseconds one-way.
+    rc.delay = std::make_unique<net::UniformDelay>(50'000, 200'000);
+    net_ = std::make_unique<runtime::ThreadNetwork>(std::move(rc));
+
+    config_.n = 5;
+    config_.f = 1;
+    for (uint32_t i = 0; i + 1 < config_.n; ++i) {
+      servers_.push_back(std::make_unique<registers::RegisterServer>(
+          ProcessId::server(i), config_, net_.get(), Bytes{}));
+      net_->add_process(ProcessId::server(i), servers_.back().get());
+    }
+    // The last server is Byzantine: it fabricates tags and values for
+    // every key. The f+1 witness rule makes it irrelevant.
+    adversary::ServerContext ctx;
+    ctx.self = ProcessId::server(4);
+    ctx.config = config_;
+    ctx.transport = net_.get();
+    ctx.rng = Rng(999);
+    byzantine_ = std::make_unique<adversary::ByzantineServer>(
+        std::move(ctx), adversary::make_strategy(
+                            adversary::StrategyKind::kFabricate, 999));
+    net_->add_process(ProcessId::server(4), byzantine_.get());
+
+    for (uint32_t object = 0; object < max_keys; ++object) {
+      writer_pool_.push_back(std::make_unique<registers::BsrWriter>(
+          ProcessId::writer(object), config_, net_.get(), object));
+      reader_pool_.push_back(std::make_unique<registers::BsrReader>(
+          ProcessId::reader(object), config_, net_.get(), object));
+      net_->add_process(ProcessId::writer(object), writer_pool_.back().get());
+      net_->add_process(ProcessId::reader(object), reader_pool_.back().get());
+    }
+    net_->start();
+  }
+
+  ~KvStore() { net_->stop(); }
+
+  void put(const std::string& key, const std::string& value) {
+    auto& s = slot(key);
+    runtime::BlockingInvoker invoker(*net_);
+    invoker.run(s.writer_id, [&](std::function<void()> done) {
+      s.writer->start_write(Bytes(value.begin(), value.end()),
+                            [done](const registers::WriteResult&) { done(); });
+    });
+  }
+
+  std::string get(const std::string& key) {
+    auto& s = slot(key);
+    std::string out;
+    runtime::BlockingInvoker invoker(*net_);
+    invoker.run(s.reader_id, [&](std::function<void()> done) {
+      s.reader->start_read([&out, done](const registers::ReadResult& r) {
+        out.assign(r.value.begin(), r.value.end());
+        done();
+      });
+    });
+    return out;
+  }
+
+  size_t keys() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    ProcessId writer_id;
+    ProcessId reader_id;
+    std::unique_ptr<registers::BsrWriter> writer;
+    std::unique_ptr<registers::BsrReader> reader;
+  };
+
+  Slot& slot(const std::string& key) {
+    auto it = slots_.find(key);
+    if (it != slots_.end()) return it->second;
+
+    const auto object = static_cast<uint32_t>(slots_.size());
+    Slot s;
+    s.writer_id = ProcessId::writer(object);
+    s.reader_id = ProcessId::reader(object);
+    s.writer = std::move(writer_pool_.at(object));
+    s.reader = std::move(reader_pool_.at(object));
+    return slots_.emplace(key, std::move(s)).first->second;
+  }
+
+  registers::SystemConfig config_;
+  std::unique_ptr<runtime::ThreadNetwork> net_;
+  std::vector<std::unique_ptr<registers::RegisterServer>> servers_;
+  std::unique_ptr<adversary::ByzantineServer> byzantine_;
+  std::vector<std::unique_ptr<registers::BsrWriter>> writer_pool_;
+  std::vector<std::unique_ptr<registers::BsrReader>> reader_pool_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "byzantine-tolerant kv store\n"
+      "one BSR cluster (n=5, f=1, server 4 Byzantine), one object id per key,\n"
+      "real threads, 50-200us one-way delays\n\n");
+
+  KvStore store(/*max_keys=*/8);
+
+  store.put("user:42", "{\"name\":\"ada\"}");
+  store.put("user:43", "{\"name\":\"grace\"}");
+  store.put("counter", "0");
+  std::printf("get user:42 -> %s\n", store.get("user:42").c_str());
+  std::printf("get user:43 -> %s\n", store.get("user:43").c_str());
+  std::printf("get counter -> %s\n\n", store.get("counter").c_str());
+
+  // TAO-style read-heavy traffic (99.8% reads, Section I footnote 1)
+  // against one hot key.
+  auto opts = workload::WorkloadOptions::facebook_tao(500, 48);
+  workload::WorkloadGenerator gen(opts);
+  Samples read_lat;
+  Samples write_lat;
+  uint64_t version = 0;
+  while (!gen.done()) {
+    const auto op = gen.next();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (op.is_read) {
+      (void)store.get("user:42");
+    } else {
+      store.put("user:42", "v" + std::to_string(version++));
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    (op.is_read ? read_lat : write_lat).add(us);
+  }
+
+  std::printf("TAO mix (%zu ops, %.1f%% reads) wall-clock latency per op:\n",
+              opts.num_ops, opts.read_ratio * 100);
+  std::printf("  reads : n=%zu  median=%.0f us  p99=%.0f us\n", read_lat.count(),
+              read_lat.median(), read_lat.p99());
+  if (write_lat.count() > 0) {
+    std::printf("  writes: n=%zu  median=%.0f us  p99=%.0f us\n",
+                write_lat.count(), write_lat.median(), write_lat.p99());
+  }
+  std::printf("\none-shot reads cost one round trip; writes cost two -- the\n"
+              "read-heavy mix is exactly where BSR's trade-off pays off.\n");
+  return 0;
+}

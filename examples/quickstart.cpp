@@ -1,0 +1,56 @@
+// Quickstart: a 5-server BSR register (n = 4f+1, f = 1) in the
+// deterministic simulator -- write a value, read it back in one round.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "checker/consistency.h"
+#include "harness/sim_cluster.h"
+
+using namespace bftreg;
+
+int main() {
+  // A cluster is the whole emulated system: n servers, writers, readers,
+  // and a seeded virtual network. Everything is deterministic in the seed.
+  harness::ClusterOptions options;
+  options.protocol = harness::Protocol::kBsr;  // replicated, one-shot reads
+  options.config.n = 5;                        // 4f + 1 servers
+  options.config.f = 1;                        // tolerate 1 Byzantine server
+  options.num_writers = 1;
+  options.num_readers = 1;
+  options.seed = 2024;
+
+  harness::SimCluster cluster(options);
+
+  // One of the five servers turns out to be Byzantine. BSR does not care.
+  cluster.set_byzantine(3, adversary::StrategyKind::kFabricate);
+
+  std::printf("BSR register: n=%zu servers, f=%zu Byzantine tolerated\n\n",
+              options.config.n, options.config.f);
+
+  // Write: two rounds (get-tag, put-data).
+  const std::string text = "hello, byzantine world";
+  const auto w = cluster.write(0, Bytes(text.begin(), text.end()));
+  std::printf("write(\"%s\")\n  tag=(%llu, writer:%u), rounds=%d, latency=%llu ns\n",
+              text.c_str(), static_cast<unsigned long long>(w.tag.num),
+              w.tag.writer.index, w.rounds,
+              static_cast<unsigned long long>(w.completed_at - w.invoked_at));
+
+  // Read: ONE round -- the paper's headline one-shot read.
+  const auto r = cluster.read(0);
+  std::printf("read()\n  -> \"%s\", rounds=%d (one-shot), latency=%llu ns\n",
+              std::string(r.value.begin(), r.value.end()).c_str(), r.rounds,
+              static_cast<unsigned long long>(r.completed_at - r.invoked_at));
+
+  // The f+1 witness rule guarantees the fabricating server could not plant
+  // a value; verify against the recorded execution.
+  checker::CheckOptions copts;
+  copts.strict_validity = true;
+  const auto verdict = checker::check_safety(cluster.recorder().ops(), copts);
+  std::printf("\nsafety check over the recorded execution: %s\n",
+              verdict.ok ? "OK" : verdict.violation.c_str());
+  return verdict.ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// tcp_cluster: the BSR register over REAL TCP sockets.
+//
+// Every server and client binds its own loopback TCP port; frames travel
+// through the kernel with length prefixes and SipHash MACs. The protocol
+// objects are byte-for-byte the ones the deterministic simulator verifies
+// -- the transport is the only thing that changed, which is the repo's
+// central design claim (DESIGN.md §6.1). Pointing the address book at
+// other hosts would distribute the emulation for real.
+//
+//   ./build/examples/tcp_cluster
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "registers/registers.h"
+#include "socknet/tcp_network.h"
+
+using namespace bftreg;
+
+int main() {
+  socknet::TcpNetwork net(socknet::TcpConfig{});
+
+  registers::SystemConfig cfg;
+  cfg.n = 5;
+  cfg.f = 1;
+
+  std::vector<std::unique_ptr<registers::RegisterServer>> servers;
+  for (uint32_t i = 0; i < cfg.n; ++i) {
+    servers.push_back(std::make_unique<registers::RegisterServer>(
+        ProcessId::server(i), cfg, &net, Bytes{}));
+    net.add_process(ProcessId::server(i), servers.back().get());
+  }
+  registers::BsrWriter writer(ProcessId::writer(0), cfg, &net);
+  registers::BsrReader reader(ProcessId::reader(0), cfg, &net);
+  net.add_process(ProcessId::writer(0), &writer);
+  net.add_process(ProcessId::reader(0), &reader);
+  net.start();
+
+  std::printf("BSR over TCP loopback (n=%zu, f=%zu)\n", cfg.n, cfg.f);
+  for (uint32_t i = 0; i < cfg.n; ++i) {
+    std::printf("  server:%u listening on 127.0.0.1:%u\n", i,
+                net.port_of(ProcessId::server(i)));
+  }
+  std::printf("\n");
+
+  auto do_write = [&](const std::string& v) {
+    std::promise<void> done;
+    net.post(ProcessId::writer(0), [&] {
+      writer.start_write(Bytes(v.begin(), v.end()),
+                         [&](const registers::WriteResult&) { done.set_value(); });
+    });
+    done.get_future().wait();
+  };
+  auto do_read = [&] {
+    std::promise<std::string> out;
+    net.post(ProcessId::reader(0), [&] {
+      reader.start_read([&](const registers::ReadResult& r) {
+        out.set_value(std::string(r.value.begin(), r.value.end()));
+      });
+    });
+    return out.get_future().get();
+  };
+
+  do_write("over-the-wire");
+  std::printf("write(\"over-the-wire\"), read() -> \"%s\"\n\n", do_read().c_str());
+
+  Samples reads, writes;
+  for (int i = 0; i < 200; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    do_write("v" + std::to_string(i));
+    writes.add(std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count());
+    t0 = std::chrono::steady_clock::now();
+    (void)do_read();
+    reads.add(std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+  }
+  const auto m = net.metrics().snapshot();
+  std::printf("200 write+read pairs over kernel sockets:\n");
+  std::printf("  read : median %.0f us, p99 %.0f us   (one-shot: 1 RTT)\n",
+              reads.median(), reads.p99());
+  std::printf("  write: median %.0f us, p99 %.0f us   (two rounds: 2 RTT)\n",
+              writes.median(), writes.p99());
+  std::printf("  %llu messages, %llu bytes on the wire, %llu auth failures\n",
+              static_cast<unsigned long long>(m.messages_sent),
+              static_cast<unsigned long long>(m.bytes_sent),
+              static_cast<unsigned long long>(m.auth_failures));
+
+  net.stop();
+  return 0;
+}

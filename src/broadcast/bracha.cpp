@@ -1,0 +1,99 @@
+#include "broadcast/bracha.h"
+
+#include <utility>
+
+namespace bftreg::broadcast {
+
+BrachaPeer::BrachaPeer(ProcessId self, std::vector<ProcessId> peers, size_t f,
+                       std::function<void(const ProcessId&, Bytes)> send,
+                       std::function<void(Bytes)> deliver)
+    : self_(self),
+      peers_(std::move(peers)),
+      f_(f),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)) {}
+
+Bytes BrachaPeer::make_frame(Phase phase, const Bytes& blob) {
+  Bytes frame;
+  frame.reserve(blob.size() + 2);
+  frame.push_back(kMagic);
+  frame.push_back(static_cast<uint8_t>(phase));
+  frame.insert(frame.end(), blob.begin(), blob.end());
+  return frame;
+}
+
+BrachaPeer::Instance& BrachaPeer::instance_for(const Bytes& blob) {
+  const uint64_t digest = fnv1a64(blob.data(), blob.size());
+  Instance& inst = instances_[digest];
+  if (inst.blob.empty()) inst.blob = blob;
+  return inst;
+}
+
+void BrachaPeer::send_phase_to_all(Phase phase, const Bytes& blob) {
+  const Bytes frame = make_frame(phase, blob);
+  for (const ProcessId& peer : peers_) {
+    if (peer == self_) continue;
+    send_(peer, frame);
+  }
+}
+
+void BrachaPeer::broadcast(const Bytes& blob) {
+  send_phase_to_all(Phase::kSend, blob);
+  on_external_send(blob);  // local SEND step
+}
+
+void BrachaPeer::on_external_send(const Bytes& blob) {
+  Instance& inst = instance_for(blob);
+  if (!inst.echoed) {
+    inst.echoed = true;
+    ++stats_.echoes_sent;
+    send_phase_to_all(Phase::kEcho, blob);
+    inst.echoes.insert(self_);
+    const uint64_t digest = fnv1a64(blob.data(), blob.size());
+    maybe_progress(digest, inst);
+  }
+}
+
+bool BrachaPeer::on_frame(const ProcessId& from, const Bytes& frame) {
+  if (frame.size() < 2 || frame[0] != kMagic) return false;
+  const uint8_t phase = frame[1];
+  if (phase < static_cast<uint8_t>(Phase::kSend) ||
+      phase > static_cast<uint8_t>(Phase::kReady)) {
+    return false;
+  }
+  const Bytes blob(frame.begin() + 2, frame.end());
+  const uint64_t digest = fnv1a64(blob.data(), blob.size());
+  Instance& inst = instance_for(blob);
+
+  switch (static_cast<Phase>(phase)) {
+    case Phase::kSend:
+      on_external_send(blob);
+      return true;
+    case Phase::kEcho:
+      inst.echoes.insert(from);
+      break;
+    case Phase::kReady:
+      inst.readies.insert(from);
+      break;
+  }
+  maybe_progress(digest, inst);
+  return true;
+}
+
+void BrachaPeer::maybe_progress(uint64_t /*digest*/, Instance& inst) {
+  // READY on enough ECHOs, or by amplification on f+1 READYs.
+  if (!inst.readied && (inst.echoes.size() >= echo_threshold() ||
+                        inst.readies.size() >= ready_amplify_threshold())) {
+    inst.readied = true;
+    ++stats_.readies_sent;
+    send_phase_to_all(Phase::kReady, inst.blob);
+    inst.readies.insert(self_);
+  }
+  if (!inst.delivered && inst.readies.size() >= deliver_threshold()) {
+    inst.delivered = true;
+    ++stats_.delivered;
+    deliver_(inst.blob);
+  }
+}
+
+}  // namespace bftreg::broadcast

@@ -1,0 +1,92 @@
+// Bracha asynchronous reliable broadcast [2] (Inf. Comput. 1987).
+//
+// The primitive the paper deliberately does *without*: it provides the
+// eventual all-or-none property (if any honest process delivers m, every
+// honest process eventually delivers m) at the price of two extra message
+// exchanges -- the "1.5 rounds" of Section I-B -- and n >= 3f+1 processes.
+//
+// This implementation is embeddable: a host process (here, the baseline
+// RB register server) owns a BrachaPeer, feeds it incoming ECHO/READY
+// frames, and gets a deliver callback. Instances are keyed by the digest of
+// the broadcast blob, so concurrent broadcasts from different origins
+// proceed independently.
+//
+// Standard thresholds for n >= 3f+1:
+//   send ECHO  on first SEND (or on enough ECHOs/READYs, implied below)
+//   send READY on ceil((n+f+1)/2) ECHOs, or on f+1 READYs (amplification)
+//   deliver    on 2f+1 READYs
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftreg::broadcast {
+
+/// Per-instance round-trip statistics, used by bench_rb_cost (E7).
+struct BrachaStats {
+  uint64_t echoes_sent{0};
+  uint64_t readies_sent{0};
+  uint64_t delivered{0};
+};
+
+class BrachaPeer {
+ public:
+  /// `send(to, frame)` must transmit `frame` to peer `to`; `deliver(blob)`
+  /// fires exactly once per delivered blob.
+  BrachaPeer(ProcessId self, std::vector<ProcessId> peers, size_t f,
+             std::function<void(const ProcessId&, Bytes)> send,
+             std::function<void(Bytes)> deliver);
+
+  /// Origin-side API: reliably broadcast `blob` to all peers (including
+  /// ourselves, handled locally).
+  void broadcast(const Bytes& blob);
+
+  /// Host feeds every incoming frame here. Returns false if the payload is
+  /// not a well-formed Bracha frame (the host may then try other parsers).
+  bool on_frame(const ProcessId& from, const Bytes& frame);
+
+  /// Injects an externally received SEND step: used when the "origin" is a
+  /// client whose PUT-DATA plays the role of the SEND message.
+  void on_external_send(const Bytes& blob);
+
+  const BrachaStats& stats() const { return stats_; }
+
+  // Frame layout (exposed for tests): [kMagic][phase][blob...]
+  static constexpr uint8_t kMagic = 0xB7;
+  enum class Phase : uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
+
+  static Bytes make_frame(Phase phase, const Bytes& blob);
+
+ private:
+  struct Instance {
+    Bytes blob;
+    std::set<ProcessId> echoes;
+    std::set<ProcessId> readies;
+    bool echoed{false};
+    bool readied{false};
+    bool delivered{false};
+  };
+
+  size_t echo_threshold() const { return (peers_.size() + f_ + 2) / 2; }
+  size_t ready_amplify_threshold() const { return f_ + 1; }
+  size_t deliver_threshold() const { return 2 * f_ + 1; }
+
+  void maybe_progress(uint64_t digest, Instance& inst);
+  void send_phase_to_all(Phase phase, const Bytes& blob);
+  Instance& instance_for(const Bytes& blob);
+
+  const ProcessId self_;
+  const std::vector<ProcessId> peers_;
+  const size_t f_;
+  std::function<void(const ProcessId&, Bytes)> send_;
+  std::function<void(Bytes)> deliver_;
+  std::unordered_map<uint64_t, Instance> instances_;
+  BrachaStats stats_;
+};
+
+}  // namespace bftreg::broadcast

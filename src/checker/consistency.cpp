@@ -1,0 +1,168 @@
+#include "checker/consistency.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bftreg::checker {
+
+namespace {
+
+std::string describe(const OpRecord& op) {
+  std::ostringstream out;
+  out << (op.kind == OpRecord::Kind::kWrite ? "write#" : "read#") << op.id << "("
+      << to_string(op.client) << ", [" << op.invoked_at << ","
+      << (op.completed ? std::to_string(op.responded_at) : "inf") << "), tag "
+      << to_string(op.tag) << ", |v|=" << op.value.size() << ")";
+  return out.str();
+}
+
+bool is_write(const OpRecord& op) { return op.kind == OpRecord::Kind::kWrite; }
+
+/// True iff some complete write w2 falls entirely between w's response and
+/// r's invocation (only meaningful for complete w).
+bool superseded(const OpRecord& w, const OpRecord& r,
+                const std::vector<OpRecord>& ops) {
+  if (!w.completed) return false;
+  for (const OpRecord& w2 : ops) {
+    if (!is_write(w2) || !w2.completed || w2.id == w.id) continue;
+    if (w2.invoked_at >= w.responded_at && w2.responded_at <= r.invoked_at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Is `value` legal for a read r NOT concurrent with any write?
+CheckResult check_nonconcurrent_read(const OpRecord& r,
+                                     const std::vector<OpRecord>& ops,
+                                     const CheckOptions& opts) {
+  // v0 is legal iff no write completed before r began.
+  const bool some_write_completed_before = std::any_of(
+      ops.begin(), ops.end(), [&](const OpRecord& w) {
+        return is_write(w) && w.completed && w.responded_at <= r.invoked_at;
+      });
+  if (r.value == opts.initial_value && !some_write_completed_before) {
+    return CheckResult::pass();
+  }
+
+  for (const OpRecord& w : ops) {
+    if (!is_write(w) || w.value != r.value) continue;
+    if (w.invoked_at >= r.invoked_at) continue;  // must have begun before r
+    if (!superseded(w, r, ops)) return CheckResult::pass();
+  }
+  return CheckResult::fail("safety: non-concurrent " + describe(r) +
+                           " returned a value that is neither the latest "
+                           "unsuperseded write nor a legal v0");
+}
+
+CheckResult check_concurrent_read(const OpRecord& r,
+                                  const std::vector<OpRecord>& ops,
+                                  const CheckOptions& opts) {
+  if (!opts.strict_validity) return CheckResult::pass();  // clause (ii): V is all bytes
+  if (r.value == opts.initial_value) return CheckResult::pass();
+  for (const OpRecord& w : ops) {
+    if (is_write(w) && w.value == r.value && w.invoked_at < r.responded_at) {
+      return CheckResult::pass();
+    }
+  }
+  return CheckResult::fail("strict validity: " + describe(r) +
+                           " returned a value no write ever wrote");
+}
+
+}  // namespace
+
+CheckResult check_safety(const std::vector<OpRecord>& ops, const CheckOptions& opts) {
+  for (const OpRecord& r : ops) {
+    if (is_write(r) || !r.completed) continue;
+
+    const bool concurrent = std::any_of(
+        ops.begin(), ops.end(), [&](const OpRecord& w) {
+          return is_write(w) && w.concurrent_with(r);
+        });
+
+    const CheckResult res = concurrent ? check_concurrent_read(r, ops, opts)
+                                       : check_nonconcurrent_read(r, ops, opts);
+    if (!res.ok) return res;
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_regularity(const std::vector<OpRecord>& ops,
+                             const CheckOptions& opts) {
+  CheckOptions strict = opts;
+  strict.strict_validity = true;
+  if (CheckResult res = check_safety(ops, strict); !res.ok) {
+    res.violation = "regularity implies " + res.violation;
+    return res;
+  }
+
+  // Freshness under concurrency: the returned value must come from a write
+  // concurrent with r, or from an unsuperseded write that began before r,
+  // or be a legal v0. (Theorem 3's execution fails here: the read returns
+  // v0 although a write completed long before it.)
+  for (const OpRecord& r : ops) {
+    if (is_write(r) || !r.completed) continue;
+    const bool some_write_completed_before = std::any_of(
+        ops.begin(), ops.end(), [&](const OpRecord& w) {
+          return is_write(w) && w.completed && w.responded_at <= r.invoked_at;
+        });
+    bool legal = r.value == opts.initial_value && !some_write_completed_before;
+    for (const OpRecord& w : ops) {
+      if (legal) break;
+      if (!is_write(w) || w.value != r.value) continue;
+      if (w.concurrent_with(r)) {
+        legal = true;
+      } else if (w.invoked_at < r.invoked_at && !superseded(w, r, ops)) {
+        legal = true;
+      }
+    }
+    if (!legal) {
+      return CheckResult::fail("regularity: " + describe(r) +
+                               " returned a stale or unknown value");
+    }
+  }
+
+  // Reads agree on the order of writes (tags per Lemma 2). Checked as
+  // per-reader monotonicity: a reader must never go backward across its own
+  // sequential reads. Cross-reader inversion is deliberately allowed --
+  // permitting it is exactly what separates regularity from atomicity.
+  if (opts.reads_report_tags) {
+    for (const OpRecord& r1 : ops) {
+      if (is_write(r1) || !r1.completed) continue;
+      for (const OpRecord& r2 : ops) {
+        if (is_write(r2) || !r2.completed || r2.id == r1.id) continue;
+        if (r2.client != r1.client) continue;
+        if (r1.precedes(r2) && r2.tag < r1.tag) {
+          return CheckResult::fail("regularity: new/old inversion between " +
+                                   describe(r1) + " and " + describe(r2));
+        }
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_atomicity(const std::vector<OpRecord>& ops,
+                            const CheckOptions& opts) {
+  if (CheckResult res = check_regularity(ops, opts); !res.ok) {
+    res.violation = "atomicity implies " + res.violation;
+    return res;
+  }
+  if (!opts.reads_report_tags) return CheckResult::pass();
+
+  // Cross-reader new/old inversion: the distinguishing power of atomicity
+  // over regularity.
+  for (const OpRecord& r1 : ops) {
+    if (is_write(r1) || !r1.completed) continue;
+    for (const OpRecord& r2 : ops) {
+      if (is_write(r2) || !r2.completed || r2.id == r1.id) continue;
+      if (r1.precedes(r2) && r2.tag < r1.tag) {
+        return CheckResult::fail("atomicity: cross-reader new/old inversion between " +
+                                 describe(r1) + " and " + describe(r2));
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace bftreg::checker

@@ -1,0 +1,108 @@
+#include "checker/execution.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace bftreg::checker {
+
+uint64_t ExecutionRecorder::begin_write(const ProcessId& client, TimeNs at,
+                                        Bytes value) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::kWrite;
+  op.client = client;
+  op.id = ops_.size() + 1;
+  op.invoked_at = at;
+  op.value = std::move(value);
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+uint64_t ExecutionRecorder::begin_read(const ProcessId& client, TimeNs at) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::kRead;
+  op.client = client;
+  op.id = ops_.size() + 1;
+  op.invoked_at = at;
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+OpRecord& ExecutionRecorder::find(uint64_t id) {
+  assert(id >= 1 && id <= ops_.size());
+  return ops_[id - 1];
+}
+
+void ExecutionRecorder::complete_write(uint64_t id, TimeNs at, const Tag& tag) {
+  OpRecord& op = find(id);
+  assert(op.kind == OpRecord::Kind::kWrite && !op.completed);
+  op.responded_at = at;
+  op.completed = true;
+  op.tag = tag;
+}
+
+void ExecutionRecorder::complete_read(uint64_t id, TimeNs at, Bytes value,
+                                      const Tag& tag) {
+  OpRecord& op = find(id);
+  assert(op.kind == OpRecord::Kind::kRead && !op.completed);
+  op.responded_at = at;
+  op.completed = true;
+  op.value = std::move(value);
+  op.tag = tag;
+}
+
+std::string ExecutionRecorder::dump_timeline(size_t width) const {
+  if (ops_.empty()) return "(empty execution)\n";
+
+  TimeNs start = ops_.front().invoked_at;
+  TimeNs end = 0;
+  for (const OpRecord& op : ops_) {
+    start = std::min(start, op.invoked_at);
+    if (op.completed) end = std::max(end, op.responded_at);
+    end = std::max(end, op.invoked_at);
+  }
+  if (end <= start) end = start + 1;
+  const double scale = static_cast<double>(width - 1) / static_cast<double>(end - start);
+  auto column = [&](TimeNs t) {
+    return static_cast<size_t>(static_cast<double>(t - start) * scale);
+  };
+
+  std::ostringstream out;
+  out << "time axis: [" << start << ", " << end << "] ns; '#' = in progress,"
+      << " '>' = never completed\n";
+  for (const OpRecord& op : ops_) {
+    std::string bar(width, ' ');
+    const size_t from = column(op.invoked_at);
+    const size_t to = op.completed ? column(op.responded_at) : width - 1;
+    for (size_t i = from; i <= to && i < width; ++i) bar[i] = '#';
+    if (!op.completed) bar[width - 1] = '>';
+
+    std::ostringstream label;
+    label << (op.kind == OpRecord::Kind::kWrite ? "W" : "R") << op.id << " "
+          << to_string(op.client);
+    out << label.str();
+    for (size_t i = label.str().size(); i < 14; ++i) out << ' ';
+    out << '|' << bar << "| tag=" << to_string(op.tag);
+    if (op.kind == OpRecord::Kind::kWrite || op.completed) {
+      out << " |v|=" << op.value.size();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string ExecutionRecorder::dump() const {
+  std::ostringstream out;
+  for (const OpRecord& op : ops_) {
+    out << (op.kind == OpRecord::Kind::kWrite ? "W" : "R") << op.id << " "
+        << to_string(op.client) << " [" << op.invoked_at << ", ";
+    if (op.completed) {
+      out << op.responded_at << "]";
+    } else {
+      out << "inf)";
+    }
+    out << " tag=" << to_string(op.tag) << " |v|=" << op.value.size() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace bftreg::checker

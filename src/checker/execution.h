@@ -1,0 +1,70 @@
+// Execution recording: invocation/response intervals of every operation.
+//
+// The consistency definitions (Section II-C) are predicates over complete
+// operations in an execution; the recorder captures exactly the events they
+// quantify over -- invocation and response steps with their (virtual or
+// wall-clock) times, the written/returned values, and the protocol tags.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftreg::checker {
+
+struct OpRecord {
+  enum class Kind : uint8_t { kWrite, kRead };
+
+  Kind kind{Kind::kWrite};
+  ProcessId client;
+  uint64_t id{0};  // recorder-assigned, unique per operation
+  TimeNs invoked_at{0};
+  TimeNs responded_at{std::numeric_limits<TimeNs>::max()};
+  bool completed{false};
+
+  /// Written value (writes) or returned value (reads).
+  Bytes value;
+  /// The protocol tag: the tag installed by the write, or the tag the read
+  /// associated with its returned value. Zero tag when unknown (e.g. BCSR
+  /// reads, which decode values without learning a tag).
+  Tag tag{};
+
+  bool precedes(const OpRecord& other) const {
+    return completed && responded_at <= other.invoked_at;
+  }
+  bool concurrent_with(const OpRecord& other) const {
+    return !precedes(other) && !other.precedes(*this);
+  }
+};
+
+/// Collects operations as the harness drives clients. Not thread-safe;
+/// wrap with external synchronization for the threaded runtime.
+class ExecutionRecorder {
+ public:
+  /// Returns the operation id to pass to `complete`.
+  uint64_t begin_write(const ProcessId& client, TimeNs at, Bytes value);
+  uint64_t begin_read(const ProcessId& client, TimeNs at);
+
+  void complete_write(uint64_t id, TimeNs at, const Tag& tag);
+  void complete_read(uint64_t id, TimeNs at, Bytes value, const Tag& tag);
+
+  const std::vector<OpRecord>& ops() const { return ops_; }
+  void clear() { ops_.clear(); }
+
+  std::string dump() const;  // human-readable trace for failure messages
+
+  /// ASCII Gantt chart of the execution: one row per operation, bars over
+  /// a common virtual-time axis. Invaluable when staring at a checker
+  /// violation -- concurrency is visible at a glance. `width` is the bar
+  /// area in characters.
+  std::string dump_timeline(size_t width = 64) const;
+
+ private:
+  OpRecord& find(uint64_t id);
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace bftreg::checker

@@ -1,0 +1,69 @@
+#include "codec/gf256.h"
+
+#include <cassert>
+
+namespace bftreg::codec::gf {
+
+namespace {
+
+constexpr unsigned kPrimitivePoly = 0x11D;
+
+struct Tables {
+  uint8_t exp[512];  // doubled so mul can skip a modulo
+  uint8_t log[256];
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPrimitivePoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // never consulted; mul/div guard zero operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+uint8_t mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t inv(uint8_t a) {
+  assert(a != 0 && "inverse of zero");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+uint8_t div(uint8_t a, uint8_t b) {
+  assert(b != 0 && "division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t pow(uint8_t a, unsigned power) {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const unsigned l = (static_cast<unsigned>(t.log[a]) * power) % 255;
+  return t.exp[l];
+}
+
+uint8_t exp_table(unsigned i) { return tables().exp[i % 255]; }
+
+uint8_t log_table(uint8_t a) {
+  assert(a != 0);
+  return tables().log[a];
+}
+
+}  // namespace bftreg::codec::gf

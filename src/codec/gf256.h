@@ -1,0 +1,36 @@
+// Arithmetic in GF(2^8).
+//
+// Field for the [n, k] Reed-Solomon MDS code of Section IV ("we use a
+// linear [n,k] MDS erasure code over a finite field F_q"). GF(2^8) keeps
+// symbols byte-sized and supports up to n = 255 servers, far beyond any
+// deployment the paper contemplates. The representation uses the standard
+// AES-adjacent primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+#pragma once
+
+#include <cstdint>
+
+namespace bftreg::codec::gf {
+
+/// Addition and subtraction coincide (characteristic 2).
+constexpr uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+constexpr uint8_t sub(uint8_t a, uint8_t b) { return a ^ b; }
+
+/// Multiplication via log/antilog tables.
+uint8_t mul(uint8_t a, uint8_t b);
+
+/// Multiplicative inverse; precondition a != 0.
+uint8_t inv(uint8_t a);
+
+/// a / b; precondition b != 0.
+uint8_t div(uint8_t a, uint8_t b);
+
+/// a^power (power >= 0); 0^0 == 1 by convention.
+uint8_t pow(uint8_t a, unsigned power);
+
+/// The generator element g = 0x02; exp_table(i) = g^i for i in [0, 254].
+uint8_t exp_table(unsigned i);
+
+/// Discrete log base g; precondition a != 0.
+uint8_t log_table(uint8_t a);
+
+}  // namespace bftreg::codec::gf

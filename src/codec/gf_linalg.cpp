@@ -1,0 +1,124 @@
+#include "codec/gf_linalg.h"
+
+#include <cassert>
+
+#include "codec/gf256.h"
+
+namespace bftreg::codec {
+
+std::vector<uint8_t> GfMatrix::apply(const std::vector<uint8_t>& v) const {
+  assert(v.size() == cols_);
+  std::vector<uint8_t> out(rows_, 0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const uint8_t* rp = row(r);
+    uint8_t acc = 0;
+    for (size_t c = 0; c < cols_; ++c) {
+      acc = gf::add(acc, gf::mul(rp[c], v[c]));
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> gf_solve(GfMatrix a, std::vector<uint8_t> b) {
+  assert(a.rows() == b.size());
+  const size_t rows = a.rows();
+  const size_t cols = a.cols();
+
+  std::vector<size_t> pivot_col_of_row(rows, SIZE_MAX);
+  size_t rank = 0;
+  for (size_t col = 0; col < cols && rank < rows; ++col) {
+    // Find a pivot in this column at or below `rank`.
+    size_t pivot = SIZE_MAX;
+    for (size_t r = rank; r < rows; ++r) {
+      if (a.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == SIZE_MAX) continue;
+    if (pivot != rank) {
+      for (size_t c = 0; c < cols; ++c) std::swap(a.at(pivot, c), a.at(rank, c));
+      std::swap(b[pivot], b[rank]);
+    }
+    const uint8_t inv_p = gf::inv(a.at(rank, col));
+    for (size_t c = col; c < cols; ++c) a.at(rank, c) = gf::mul(a.at(rank, c), inv_p);
+    b[rank] = gf::mul(b[rank], inv_p);
+    for (size_t r = 0; r < rows; ++r) {
+      if (r == rank) continue;
+      const uint8_t factor = a.at(r, col);
+      if (factor == 0) continue;
+      for (size_t c = col; c < cols; ++c) {
+        a.at(r, c) = gf::sub(a.at(r, c), gf::mul(factor, a.at(rank, c)));
+      }
+      b[r] = gf::sub(b[r], gf::mul(factor, b[rank]));
+    }
+    pivot_col_of_row[rank] = col;
+    ++rank;
+  }
+
+  // Inconsistent if any zero row has nonzero rhs.
+  for (size_t r = rank; r < rows; ++r) {
+    if (b[r] != 0) return std::nullopt;
+  }
+
+  std::vector<uint8_t> x(cols, 0);  // free variables zero
+  for (size_t r = 0; r < rank; ++r) {
+    x[pivot_col_of_row[r]] = b[r];
+  }
+  return x;
+}
+
+std::optional<GfMatrix> gf_invert(const GfMatrix& a) {
+  assert(a.rows() == a.cols());
+  const size_t n = a.rows();
+  GfMatrix work = a;
+  GfMatrix inv(n, n);
+  for (size_t i = 0; i < n; ++i) inv.at(i, i) = 1;
+
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = SIZE_MAX;
+    for (size_t r = col; r < n; ++r) {
+      if (work.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == SIZE_MAX) return std::nullopt;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    const uint8_t inv_p = gf::inv(work.at(col, col));
+    for (size_t c = 0; c < n; ++c) {
+      work.at(col, c) = gf::mul(work.at(col, c), inv_p);
+      inv.at(col, c) = gf::mul(inv.at(col, c), inv_p);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        work.at(r, c) = gf::sub(work.at(r, c), gf::mul(factor, work.at(col, c)));
+        inv.at(r, c) = gf::sub(inv.at(r, c), gf::mul(factor, inv.at(col, c)));
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix vandermonde(const std::vector<uint8_t>& xs, size_t cols) {
+  GfMatrix m(xs.size(), cols);
+  for (size_t r = 0; r < xs.size(); ++r) {
+    uint8_t p = 1;
+    for (size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = p;
+      p = gf::mul(p, xs[r]);
+    }
+  }
+  return m;
+}
+
+}  // namespace bftreg::codec

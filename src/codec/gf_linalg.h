@@ -1,0 +1,49 @@
+// Dense linear algebra over GF(2^8).
+//
+// The Berlekamp-Welch decoder reduces error correction to solving a small
+// (possibly overdetermined) linear system; matrix inversion provides the
+// precomputed fast-path decoding matrices used for erasure-only stripes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bftreg::codec {
+
+/// Row-major byte matrix over GF(2^8).
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  uint8_t& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  uint8_t at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const uint8_t* row(size_t r) const { return data_.data() + r * cols_; }
+  uint8_t* row(size_t r) { return data_.data() + r * cols_; }
+
+  /// Matrix-vector product; `v.size() == cols()`.
+  std::vector<uint8_t> apply(const std::vector<uint8_t>& v) const;
+
+ private:
+  size_t rows_{0};
+  size_t cols_{0};
+  std::vector<uint8_t> data_;
+};
+
+/// Solves A x = b by Gaussian elimination. The system may be overdetermined
+/// (rows >= cols); free variables (if rank < cols) are set to zero. Returns
+/// nullopt iff the system is inconsistent.
+std::optional<std::vector<uint8_t>> gf_solve(GfMatrix a, std::vector<uint8_t> b);
+
+/// Inverse of a square matrix; nullopt if singular.
+std::optional<GfMatrix> gf_invert(const GfMatrix& a);
+
+/// Vandermonde matrix: rows_ evaluation points xs, cols_ powers 0..cols-1.
+GfMatrix vandermonde(const std::vector<uint8_t>& xs, size_t cols);
+
+}  // namespace bftreg::codec

@@ -1,0 +1,181 @@
+#include "codec/mds_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "codec/gf256.h"
+#include "common/types.h"
+
+namespace bftreg::codec {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;  // u32 length + u32 checksum
+
+uint32_t value_checksum(const Bytes& v) {
+  return static_cast<uint32_t>(fnv1a64(v.data(), v.size()) & 0xffffffffu);
+}
+
+}  // namespace
+
+MdsCode::MdsCode(size_t n, size_t k, RsLayout layout) : rs_(n, k, layout) {}
+
+MdsCode MdsCode::for_bcsr(size_t n, size_t f, RsLayout layout) {
+  assert(n >= 5 * f + 1 && "BCSR requires n >= 5f + 1");
+  return MdsCode(n, n - 5 * f, layout);
+}
+
+size_t MdsCode::element_size(size_t value_size) const {
+  const size_t payload = value_size + kHeaderBytes;
+  return (payload + k() - 1) / k();
+}
+
+std::vector<Bytes> MdsCode::encode(const Bytes& value) const {
+  const size_t stripes = element_size(value.size());
+  const size_t kk = k();
+
+  // payload = [len u32][checksum u32][value][zero padding]
+  std::vector<uint8_t> payload(stripes * kk, 0);
+  const auto len = static_cast<uint32_t>(value.size());
+  const uint32_t sum = value_checksum(value);
+  for (int i = 0; i < 4; ++i) payload[i] = static_cast<uint8_t>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) payload[4 + i] = static_cast<uint8_t>(sum >> (8 * i));
+  std::copy(value.begin(), value.end(), payload.begin() + kHeaderBytes);
+
+  std::vector<Bytes> elements(n(), Bytes(stripes));
+  for (size_t s = 0; s < stripes; ++s) {
+    const std::vector<uint8_t> coded = rs_.encode_stripe(payload.data() + s * kk);
+    for (size_t i = 0; i < n(); ++i) elements[i][s] = coded[i];
+  }
+  return elements;
+}
+
+struct MdsCode::Group {
+  size_t size{0};                   // element size (== stripe count)
+  std::vector<size_t> positions;    // server indices with this size
+};
+
+std::optional<Bytes> MdsCode::decode(
+    const std::vector<std::optional<Bytes>>& elements) const {
+  assert(elements.size() == n());
+
+  // Bucket present elements by size; a Byzantine server lying about the
+  // element size lands in a minority bucket and is simply excluded, which
+  // costs it its vote but cannot corrupt a majority-size decode.
+  std::map<size_t, Group> groups;
+  for (size_t i = 0; i < n(); ++i) {
+    if (!elements[i] || elements[i]->empty()) continue;
+    Group& g = groups[elements[i]->size()];
+    g.size = elements[i]->size();
+    g.positions.push_back(i);
+  }
+
+  std::vector<const Group*> ordered;
+  ordered.reserve(groups.size());
+  for (const auto& [sz, g] : groups) ordered.push_back(&g);
+  std::sort(ordered.begin(), ordered.end(), [](const Group* a, const Group* b) {
+    if (a->positions.size() != b->positions.size()) {
+      return a->positions.size() > b->positions.size();
+    }
+    return a->size > b->size;
+  });
+
+  for (const Group* g : ordered) {
+    if (g->positions.size() < k()) continue;
+    if (auto v = decode_group_impl(g, elements)) return v;
+  }
+  return std::nullopt;
+}
+
+// Out-of-line helper so the header stays minimal. Decodes one same-size
+// bucket with the fast interpolation path and a Berlekamp-Welch fallback.
+std::optional<Bytes> MdsCode::decode_group_impl(
+    const Group* g, const std::vector<std::optional<Bytes>>& elements) const {
+  const size_t stripes = g->size;
+  const size_t m = g->positions.size();
+  const size_t e_budget = rs_.max_errors(m);
+  const size_t kk = k();
+
+  auto symbol_at = [&](size_t stripe) {
+    std::vector<ReceivedSymbol> syms;
+    syms.reserve(m);
+    for (size_t pos : g->positions) {
+      syms.push_back(ReceivedSymbol{pos, (*elements[pos])[stripe]});
+    }
+    return syms;
+  };
+
+  // Stripe 0 via Berlekamp-Welch establishes the trusted position set; the
+  // set (and its interpolation matrix) is rebuilt whenever a later stripe
+  // proves it wrong -- e.g. a stale element that happens to agree with the
+  // fresh codeword on the early stripes but diverges afterwards. Each
+  // rebuild costs one O(k^3) inversion; an adversary can force at most one
+  // rebuild per corrupted element pattern, so the amortized per-stripe
+  // cost stays at the O(k^2) interpolation fast path.
+  std::vector<size_t> good;
+  std::optional<GfMatrix> inv;
+  auto rebuild_trusted = [&](const std::vector<uint8_t>& coeffs,
+                             size_t stripe) -> bool {
+    good.clear();
+    for (size_t pos : g->positions) {
+      if (poly_eval(coeffs, rs_.alpha(pos)) == (*elements[pos])[stripe]) {
+        good.push_back(pos);
+      }
+    }
+    if (good.size() < kk) return false;
+    std::vector<uint8_t> xs(kk);
+    for (size_t i = 0; i < kk; ++i) xs[i] = rs_.alpha(good[i]);
+    inv = gf_invert(vandermonde(xs, kk));
+    return inv.has_value();
+  };
+
+  auto first = rs_.bw_decode(symbol_at(0), e_budget);
+  if (!first || !rebuild_trusted(*first, 0)) return std::nullopt;
+
+  std::vector<uint8_t> payload(stripes * kk);
+  {
+    const auto data0 = rs_.coeffs_to_data(*first);
+    for (size_t j = 0; j < kk; ++j) payload[j] = data0[j];
+  }
+
+  std::vector<uint8_t> ys(kk);
+  for (size_t s = 1; s < stripes; ++s) {
+    for (size_t i = 0; i < kk; ++i) ys[i] = (*elements[good[i]])[s];
+    std::vector<uint8_t> coeffs = inv->apply(ys);
+
+    // Verify against every trusted position; a miss means this stripe's
+    // error pattern differs -- fall back to full B-W and re-learn which
+    // positions to trust.
+    bool consistent = true;
+    for (size_t pos : good) {
+      if (poly_eval(coeffs, rs_.alpha(pos)) != (*elements[pos])[s]) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) {
+      auto fixed = rs_.bw_decode(symbol_at(s), e_budget);
+      if (!fixed || !rebuild_trusted(*fixed, s)) return std::nullopt;
+      coeffs = std::move(*fixed);
+    }
+    const auto data = rs_.coeffs_to_data(coeffs);
+    for (size_t j = 0; j < kk; ++j) payload[s * kk + j] = data[j];
+  }
+  return finish(payload);
+}
+
+std::optional<Bytes> MdsCode::finish(const std::vector<uint8_t>& payload) const {
+  if (payload.size() < kHeaderBytes) return std::nullopt;
+  uint32_t len = 0;
+  uint32_t sum = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(payload[i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) sum |= static_cast<uint32_t>(payload[4 + i]) << (8 * i);
+  if (len > payload.size() - kHeaderBytes) return std::nullopt;
+  Bytes value(payload.begin() + kHeaderBytes,
+              payload.begin() + kHeaderBytes + len);
+  if (value_checksum(value) != sum) return std::nullopt;
+  return value;
+}
+
+}  // namespace bftreg::codec

@@ -1,0 +1,60 @@
+// Value-level MDS codec: the paper's Phi / Phi^{-1} (Section IV-A).
+//
+// Splits a value into k elements, produces n coded elements (one per
+// server), and reconstructs the value from any set of received elements
+// containing at least k + 2e consistent ones, tolerating up to e erroneous
+// elements. The BCSR parameterization is k = n - 5f, giving e <= 2f error
+// tolerance with m = n - f responses, exactly the budget Lemma 4 consumes.
+//
+// Wire format: the value length is prepended to the payload before
+// encoding, so decoding is self-delimiting; a 32-bit checksum of the value
+// is included as well, which lets `decode` reject the (concurrency-induced)
+// case where stripes decode to a mix of two different writes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "codec/rs.h"
+#include "common/types.h"
+
+namespace bftreg::codec {
+
+class MdsCode {
+ public:
+  /// Requires 1 <= k <= n <= 255.
+  explicit MdsCode(size_t n, size_t k,
+                   RsLayout layout = RsLayout::kCoefficients);
+
+  /// The paper's BCSR code: k = n - 5f (requires n >= 5f + 1).
+  static MdsCode for_bcsr(size_t n, size_t f,
+                          RsLayout layout = RsLayout::kCoefficients);
+
+  size_t n() const { return rs_.n(); }
+  size_t k() const { return rs_.k(); }
+  RsLayout layout() const { return rs_.layout(); }
+
+  /// Coded-element size (bytes) for a value of `value_size` bytes; every
+  /// element has this same size. Approximately value_size / k.
+  size_t element_size(size_t value_size) const;
+
+  /// Encodes `value` into n coded elements.
+  std::vector<Bytes> encode(const Bytes& value) const;
+
+  /// Decodes from per-server elements (index = server position; nullopt =
+  /// no response / erasure). Tolerates up to floor((m - k) / 2) erroneous
+  /// elements among the m same-sized present ones. Returns nullopt if no
+  /// consistent value can be reconstructed.
+  std::optional<Bytes> decode(const std::vector<std::optional<Bytes>>& elements) const;
+
+ private:
+  struct Group;
+
+  std::optional<Bytes> decode_group_impl(
+      const Group* g, const std::vector<std::optional<Bytes>>& elements) const;
+  std::optional<Bytes> finish(const std::vector<uint8_t>& payload) const;
+
+  RsCode rs_;
+};
+
+}  // namespace bftreg::codec

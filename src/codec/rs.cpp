@@ -1,0 +1,191 @@
+#include "codec/rs.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "codec/gf256.h"
+
+namespace bftreg::codec {
+
+RsCode::RsCode(size_t n, size_t k, RsLayout layout)
+    : n_(n), k_(k), layout_(layout) {
+  assert(k >= 1 && k <= n && n <= 255);
+  alphas_.resize(n);
+  for (size_t i = 0; i < n; ++i) alphas_[i] = gf::exp_table(static_cast<unsigned>(i));
+
+  if (layout_ == RsLayout::kSystematic && n_ > k_) {
+    // parity = V_parity * V_data^{-1}: maps the k data symbols (values of
+    // P at alpha_0..alpha_{k-1}) to the n-k parity symbols.
+    std::vector<uint8_t> data_points(alphas_.begin(),
+                                     alphas_.begin() + static_cast<long>(k_));
+    auto inv = gf_invert(vandermonde(data_points, k_));
+    assert(inv.has_value() && "Vandermonde over distinct points is invertible");
+    std::vector<uint8_t> parity_points(alphas_.begin() + static_cast<long>(k_),
+                                       alphas_.end());
+    const GfMatrix vp = vandermonde(parity_points, k_);
+    parity_ = GfMatrix(n_ - k_, k_);
+    for (size_t r = 0; r < n_ - k_; ++r) {
+      for (size_t c = 0; c < k_; ++c) {
+        uint8_t acc = 0;
+        for (size_t i = 0; i < k_; ++i) {
+          acc = gf::add(acc, gf::mul(vp.at(r, i), inv->at(i, c)));
+        }
+        parity_.at(r, c) = acc;
+      }
+    }
+  }
+}
+
+std::vector<uint8_t> RsCode::coeffs_to_data(
+    const std::vector<uint8_t>& coeffs) const {
+  if (layout_ == RsLayout::kCoefficients) return coeffs;
+  std::vector<uint8_t> data(k_);
+  for (size_t i = 0; i < k_; ++i) data[i] = poly_eval(coeffs, alphas_[i]);
+  return data;
+}
+
+uint8_t poly_eval(const std::vector<uint8_t>& coeffs, uint8_t x) {
+  // Horner, highest coefficient first.
+  uint8_t acc = 0;
+  for (size_t i = coeffs.size(); i-- > 0;) {
+    acc = gf::add(gf::mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+std::optional<std::vector<uint8_t>> poly_divide_exact(std::vector<uint8_t> num,
+                                                      std::vector<uint8_t> den) {
+  while (!den.empty() && den.back() == 0) den.pop_back();
+  if (den.empty()) return std::nullopt;
+  while (!num.empty() && num.back() == 0) num.pop_back();
+  if (num.empty()) return std::vector<uint8_t>{};
+  if (num.size() < den.size()) return std::nullopt;
+
+  std::vector<uint8_t> quotient(num.size() - den.size() + 1, 0);
+  const uint8_t lead_inv = gf::inv(den.back());
+  for (size_t i = quotient.size(); i-- > 0;) {
+    const uint8_t coef = gf::mul(num[i + den.size() - 1], lead_inv);
+    quotient[i] = coef;
+    if (coef == 0) continue;
+    for (size_t j = 0; j < den.size(); ++j) {
+      num[i + j] = gf::sub(num[i + j], gf::mul(coef, den[j]));
+    }
+  }
+  for (size_t i = 0; i + 1 < den.size(); ++i) {
+    if (num[i] != 0) return std::nullopt;  // nonzero remainder
+  }
+  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+  return quotient;
+}
+
+std::vector<uint8_t> RsCode::encode_stripe(const uint8_t* data) const {
+  std::vector<uint8_t> out(n_);
+  if (layout_ == RsLayout::kSystematic) {
+    // Data symbols pass through; only parity costs arithmetic.
+    std::copy(data, data + k_, out.begin());
+    for (size_t r = 0; r < n_ - k_; ++r) {
+      uint8_t acc = 0;
+      for (size_t c = 0; c < k_; ++c) {
+        acc = gf::add(acc, gf::mul(parity_.at(r, c), data[c]));
+      }
+      out[k_ + r] = acc;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    // Horner with coefficients data[0..k-1].
+    uint8_t acc = 0;
+    const uint8_t x = alphas_[i];
+    for (size_t j = k_; j-- > 0;) {
+      acc = gf::add(gf::mul(acc, x), data[j]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> RsCode::interpolate(
+    const std::vector<ReceivedSymbol>& symbols) const {
+  if (symbols.size() != k_) return std::nullopt;
+  std::unordered_set<size_t> seen;
+  std::vector<uint8_t> xs(k_);
+  std::vector<uint8_t> ys(k_);
+  for (size_t i = 0; i < k_; ++i) {
+    if (symbols[i].position >= n_ || !seen.insert(symbols[i].position).second) {
+      return std::nullopt;
+    }
+    xs[i] = alphas_[symbols[i].position];
+    ys[i] = symbols[i].value;
+  }
+  return gf_solve(vandermonde(xs, k_), ys);
+}
+
+std::optional<std::vector<uint8_t>> RsCode::bw_decode(
+    const std::vector<ReceivedSymbol>& symbols, size_t e_max) const {
+  const size_t m = symbols.size();
+  if (m < k_) return std::nullopt;
+  const size_t e = std::min(e_max, max_errors(m));
+
+  {
+    std::unordered_set<size_t> seen;
+    for (const auto& s : symbols) {
+      if (s.position >= n_ || !seen.insert(s.position).second) return std::nullopt;
+    }
+  }
+
+  if (e == 0) {
+    // Plain interpolation through the first k points, then verify the rest.
+    std::vector<ReceivedSymbol> head(symbols.begin(), symbols.begin() + k_);
+    auto coeffs = interpolate(head);
+    if (!coeffs) return std::nullopt;
+    coeffs->resize(k_, 0);
+    for (const auto& s : symbols) {
+      if (poly_eval(*coeffs, alphas_[s.position]) != s.value) return std::nullopt;
+    }
+    return coeffs;
+  }
+
+  // Berlekamp-Welch: find Q (deg < k+e) and monic E (deg == e) with
+  //   Q(x_j) = r_j * E(x_j)   for every received point (x_j, r_j).
+  // Unknowns: q_0..q_{k+e-1}, e_0..e_{e-1}  (e_e is fixed to 1).
+  // Row j:  sum_i q_i x_j^i  -  r_j * sum_{i<e} e_i x_j^i  =  r_j * x_j^e.
+  const size_t q_terms = k_ + e;
+  const size_t unknowns = q_terms + e;
+  GfMatrix a(m, unknowns);
+  std::vector<uint8_t> b(m);
+  for (size_t j = 0; j < m; ++j) {
+    const uint8_t x = alphas_[symbols[j].position];
+    const uint8_t r = symbols[j].value;
+    uint8_t xp = 1;
+    for (size_t i = 0; i < q_terms; ++i) {
+      a.at(j, i) = xp;
+      if (i < e) a.at(j, q_terms + i) = gf::mul(r, xp);  // note: add == sub in GF(2^8)
+      xp = gf::mul(xp, x);
+    }
+    // xp now holds x^{k+e-1} * x; recompute x^e for the rhs.
+    b[j] = gf::mul(r, gf::pow(x, static_cast<unsigned>(e)));
+  }
+
+  auto sol = gf_solve(std::move(a), std::move(b));
+  if (!sol) return std::nullopt;
+
+  std::vector<uint8_t> q(sol->begin(), sol->begin() + static_cast<long>(q_terms));
+  std::vector<uint8_t> locator(sol->begin() + static_cast<long>(q_terms), sol->end());
+  locator.push_back(1);  // monic term x^e
+
+  auto p = poly_divide_exact(std::move(q), std::move(locator));
+  if (!p) return std::nullopt;
+  if (p->size() > k_) return std::nullopt;
+  p->resize(k_, 0);
+
+  // Accept only if the decoded word is within distance e of the received
+  // word -- this is what makes a successful decode trustworthy.
+  size_t disagreements = 0;
+  for (const auto& s : symbols) {
+    if (poly_eval(*p, alphas_[s.position]) != s.value) ++disagreements;
+  }
+  if (disagreements > e) return std::nullopt;
+  return p;
+}
+
+}  // namespace bftreg::codec

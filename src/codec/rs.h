@@ -1,0 +1,95 @@
+// [n, k] Reed-Solomon code with Berlekamp-Welch error-and-erasure decoding.
+//
+// Reed-Solomon codes are MDS, so any k of the n coded symbols determine the
+// data -- the defining property Section IV-A relies on. The decoder is the
+// paper's Phi^{-1}: given m >= k + 2e received symbols of which at most e are
+// *erroneous* (Byzantine-corrupted or stale, Section IV-A's terminology) and
+// the rest missing (erasures), it recovers the unique original word.
+//
+// Encoding is polynomial evaluation: the k data symbols are the coefficients
+// of P (deg < k) and symbol i is P(alpha_i) with alpha_i = g^i distinct and
+// nonzero (nonzero matters: Berlekamp-Welch multiplies the error locator by
+// powers of x to pad its degree, so x = 0 must not be an evaluation point).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/gf_linalg.h"
+
+namespace bftreg::codec {
+
+/// A received symbol at a known server position; absent == erasure.
+struct ReceivedSymbol {
+  size_t position{0};  // server index in [0, n)
+  uint8_t value{0};
+};
+
+/// How data symbols map to the codeword polynomial.
+enum class RsLayout : uint8_t {
+  /// Data symbols are P's coefficients (simplest encode: n Horner
+  /// evaluations per stripe).
+  kCoefficients = 0,
+  /// Systematic: data symbols are P's *values* at the first k evaluation
+  /// points, so coded symbols 0..k-1 equal the raw data and only the n-k
+  /// parity symbols cost arithmetic. This is what production coded
+  /// storage uses -- an un-degraded read needs no decoding at all.
+  kSystematic = 1,
+};
+
+class RsCode {
+ public:
+  /// Requires 1 <= k <= n <= 255.
+  explicit RsCode(size_t n, size_t k, RsLayout layout = RsLayout::kCoefficients);
+
+  size_t n() const { return n_; }
+  size_t k() const { return k_; }
+  RsLayout layout() const { return layout_; }
+
+  /// Evaluation point of server i.
+  uint8_t alpha(size_t i) const { return alphas_[i]; }
+
+  /// Encodes k data symbols into n coded symbols.
+  std::vector<uint8_t> encode_stripe(const uint8_t* data) const;
+
+  /// Maps decoded polynomial coefficients back to the k data symbols
+  /// (identity for kCoefficients; evaluation at alpha_0..alpha_{k-1} for
+  /// kSystematic).
+  std::vector<uint8_t> coeffs_to_data(const std::vector<uint8_t>& coeffs) const;
+
+  /// Interpolation-only decode (assumes all inputs error-free): recovers the
+  /// k data symbols from exactly k received symbols. Returns nullopt if the
+  /// positions are not distinct / out of range.
+  std::optional<std::vector<uint8_t>> interpolate(
+      const std::vector<ReceivedSymbol>& symbols) const;
+
+  /// Berlekamp-Welch decode from `symbols` (distinct positions), tolerating
+  /// up to e_max errors, where e_max <= (symbols.size() - k) / 2. Returns
+  /// the k data symbols, or nullopt if no codeword lies within distance
+  /// e_max of the received word.
+  std::optional<std::vector<uint8_t>> bw_decode(
+      const std::vector<ReceivedSymbol>& symbols, size_t e_max) const;
+
+  /// Largest tolerable error count for m received symbols: (m - k) / 2.
+  size_t max_errors(size_t m) const { return m < k_ ? 0 : (m - k_) / 2; }
+
+ private:
+  size_t n_;
+  size_t k_;
+  RsLayout layout_;
+  std::vector<uint8_t> alphas_;
+  /// kSystematic only: (n-k) x k matrix mapping data to parity symbols,
+  /// precomputed as V_parity * V_data^{-1}.
+  GfMatrix parity_;
+};
+
+/// Evaluates polynomial `coeffs` (coeffs[i] is the x^i coefficient) at x.
+uint8_t poly_eval(const std::vector<uint8_t>& coeffs, uint8_t x);
+
+/// Exact polynomial division num / den; nullopt if the remainder is nonzero
+/// or den is zero. Leading zero coefficients in the result are trimmed.
+std::optional<std::vector<uint8_t>> poly_divide_exact(
+    std::vector<uint8_t> num, std::vector<uint8_t> den);
+
+}  // namespace bftreg::codec

@@ -1,0 +1,58 @@
+// Minimal leveled logging to stderr.
+//
+// Logging is off by default (kWarn) so that deterministic tests and benches
+// stay quiet; set `set_log_level(LogLevel::kDebug)` or the BFTREG_LOG env
+// var to trace protocol message flow.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bftreg {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Initialize from the BFTREG_LOG environment variable (debug|info|warn|error|off).
+void init_log_from_env();
+
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace bftreg
+
+#define BFTREG_LOG(level)                            \
+  if (::bftreg::log_level() <= ::bftreg::LogLevel::level) \
+  ::bftreg::detail::LogMessage(::bftreg::LogLevel::level)
+
+#define LOG_DEBUG BFTREG_LOG(kDebug)
+#define LOG_INFO BFTREG_LOG(kInfo)
+#define LOG_WARN BFTREG_LOG(kWarn)
+#define LOG_ERROR BFTREG_LOG(kError)

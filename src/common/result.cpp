@@ -1,0 +1,27 @@
+#include "common/result.h"
+
+namespace bftreg {
+
+const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::kOk:
+      return "ok";
+    case Errc::kMalformedMessage:
+      return "malformed message";
+    case Errc::kDecodeFailed:
+      return "decode failed";
+    case Errc::kTimeout:
+      return "timeout";
+    case Errc::kInvalidArgument:
+      return "invalid argument";
+    case Errc::kNotFound:
+      return "not found";
+    case Errc::kAuthFailed:
+      return "authentication failed";
+    case Errc::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+}  // namespace bftreg

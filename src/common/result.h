@@ -1,0 +1,70 @@
+// Lightweight expected-like result type.
+//
+// Protocol and codec code never throws across module boundaries (failures
+// such as "undecodable word" or "malformed message" are normal events under
+// Byzantine faults, not programmer errors); they return `Result<T>` or
+// `std::optional` instead.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bftreg {
+
+enum class Errc {
+  kOk = 0,
+  kMalformedMessage,
+  kDecodeFailed,
+  kTimeout,
+  kInvalidArgument,
+  kNotFound,
+  kAuthFailed,
+  kUnavailable,
+};
+
+const char* to_string(Errc e);
+
+struct Error {
+  Errc code{Errc::kOk};
+  std::string detail;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : v_(std::move(err)) {}  // NOLINT: implicit by design
+  Result(Errc code, std::string detail = {}) : v_(Error{code, std::move(detail)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace bftreg

@@ -1,0 +1,131 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulator (message delays, workload
+// mixes, adversary choices) draws from an explicitly seeded `Rng` so that
+// any execution -- including ones that expose a safety violation -- can be
+// replayed exactly from its seed. xoshiro256** is used for speed and
+// statistical quality; seeding goes through SplitMix64 as its authors
+// recommend.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace bftreg {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  uint64_t uniform(uint64_t bound) {
+    // Lemire's nearly-divisionless method.
+    uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  uint64_t uniform_range(uint64_t lo, uint64_t hi) {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Lognormal by mu/sigma of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform_double() - 1.0;
+      v = 2.0 * uniform_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[uniform(v.size())];
+  }
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_{};
+  bool have_spare_{false};
+  double spare_{0.0};
+};
+
+}  // namespace bftreg

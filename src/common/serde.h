@@ -1,0 +1,144 @@
+// Bounds-checked binary serialization.
+//
+// Every message that crosses the (simulated) network is flattened to bytes
+// through `Serializer` and parsed back through `Deserializer`. Parsing must
+// survive arbitrary adversarial payloads -- a Byzantine server may send any
+// byte string -- so `Deserializer` never reads out of bounds and reports
+// failure through `ok()` instead of crashing.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace bftreg {
+
+/// Append-only little-endian encoder.
+class Serializer {
+ public:
+  Serializer() = default;
+
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+
+  void put_u16(uint16_t v) { put_uint(v, 2); }
+  void put_u32(uint32_t v) { put_uint(v, 4); }
+  void put_u64(uint64_t v) { put_uint(v, 8); }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) byte string.
+  void put_bytes(const Bytes& b) {
+    put_u32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void put_string(std::string_view s) {
+    put_u32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void put_process_id(const ProcessId& id) {
+    put_u8(static_cast<uint8_t>(id.role));
+    put_u32(id.index);
+  }
+
+  void put_tag(const Tag& t) {
+    put_u64(t.num);
+    put_process_id(t.writer);
+  }
+
+  size_t size() const { return buf_.size(); }
+
+  /// Moves the accumulated buffer out; the serializer is reset.
+  Bytes take() { return std::move(buf_); }
+
+  const Bytes& buffer() const { return buf_; }
+
+ private:
+  void put_uint(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian decoder. After any failed read, `ok()` is
+/// false and all subsequent reads return zero values; callers check `ok()`
+/// once at the end of parsing a message.
+class Deserializer {
+ public:
+  explicit Deserializer(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  Deserializer(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  /// True iff parsing succeeded AND consumed the whole buffer.
+  bool done() const { return ok_ && pos_ == size_; }
+
+  uint8_t get_u8() { return static_cast<uint8_t>(get_uint(1)); }
+  uint16_t get_u16() { return static_cast<uint16_t>(get_uint(2)); }
+  uint32_t get_u32() { return static_cast<uint32_t>(get_uint(4)); }
+  uint64_t get_u64() { return get_uint(8); }
+
+  bool get_bool() { return get_u8() != 0; }
+
+  Bytes get_bytes() {
+    uint32_t len = get_u32();
+    if (!ok_ || remaining() < len) {
+      ok_ = false;
+      return {};
+    }
+    Bytes out(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+
+  std::string get_string() {
+    Bytes b = get_bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  ProcessId get_process_id() {
+    uint8_t role = get_u8();
+    uint32_t index = get_u32();
+    if (role > static_cast<uint8_t>(Role::kReader)) {
+      ok_ = false;
+      return {};
+    }
+    return ProcessId{static_cast<Role>(role), index};
+  }
+
+  Tag get_tag() {
+    Tag t;
+    t.num = get_u64();
+    t.writer = get_process_id();
+    return t;
+  }
+
+ private:
+  uint64_t get_uint(int bytes) {
+    if (!ok_ || remaining() < static_cast<size_t>(bytes)) {
+      ok_ = false;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += bytes;
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_{0};
+  bool ok_{true};
+};
+
+}  // namespace bftreg

@@ -1,0 +1,43 @@
+#include "common/types.h"
+
+namespace bftreg {
+
+const char* to_string(Role role) {
+  switch (role) {
+    case Role::kServer:
+      return "server";
+    case Role::kWriter:
+      return "writer";
+    case Role::kReader:
+      return "reader";
+  }
+  return "unknown";
+}
+
+std::string to_string(const ProcessId& id) {
+  std::string out = to_string(id.role);
+  out += ':';
+  out += std::to_string(id.index);
+  return out;
+}
+
+std::string to_string(const Tag& tag) {
+  std::string out = "(";
+  out += std::to_string(tag.num);
+  out += ',';
+  out += to_string(tag.writer);
+  out += ')';
+  return out;
+}
+
+uint64_t fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace bftreg

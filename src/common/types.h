@@ -1,0 +1,96 @@
+// Core identifier and value types shared by every module.
+//
+// The paper's model (Section II-A) has three kinds of asynchronous
+// processes -- servers, writers and readers -- each with a unique ID drawn
+// from a totally ordered set. `ProcessId` realizes that set: ordering is
+// lexicographic on (role, index), which is total and agreed on by all
+// processes, exactly what the write tie-break in Lemma 2 requires.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bftreg {
+
+/// Raw byte string; register values and wire payloads are both byte vectors.
+using Bytes = std::vector<uint8_t>;
+
+/// Virtual (simulator) or wall-clock time in nanoseconds.
+using TimeNs = uint64_t;
+
+/// The role of a process in the emulation (Section II-A).
+enum class Role : uint8_t {
+  kServer = 0,
+  kWriter = 1,
+  kReader = 2,
+};
+
+const char* to_string(Role role);
+
+/// Unique, totally ordered process identifier.
+struct ProcessId {
+  Role role{Role::kServer};
+  uint32_t index{0};
+
+  friend auto operator<=>(const ProcessId&, const ProcessId&) = default;
+
+  static constexpr ProcessId server(uint32_t i) {
+    return ProcessId{Role::kServer, i};
+  }
+  static constexpr ProcessId writer(uint32_t i) {
+    return ProcessId{Role::kWriter, i};
+  }
+  static constexpr ProcessId reader(uint32_t i) {
+    return ProcessId{Role::kReader, i};
+  }
+
+  bool is_server() const { return role == Role::kServer; }
+  bool is_client() const { return role != Role::kServer; }
+};
+
+std::string to_string(const ProcessId& id);
+
+/// Write tag: (sequence number, writer id), ordered lexicographically
+/// (Section III-A). Ties between concurrent writes that picked the same
+/// number are broken by the total order on writer IDs (Lemma 2, Case 2).
+struct Tag {
+  uint64_t num{0};
+  ProcessId writer{};
+
+  friend auto operator<=>(const Tag&, const Tag&) = default;
+
+  /// The distinguished initial tag t0 associated with v0.
+  static constexpr Tag initial() { return Tag{}; }
+
+  bool is_initial() const { return num == 0; }
+};
+
+std::string to_string(const Tag& tag);
+
+/// 64-bit FNV-1a over arbitrary bytes; used for hashing ids and dedup keys.
+uint64_t fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace bftreg
+
+namespace std {
+
+template <>
+struct hash<bftreg::ProcessId> {
+  size_t operator()(const bftreg::ProcessId& id) const noexcept {
+    return (static_cast<size_t>(id.role) << 32) ^ id.index;
+  }
+};
+
+template <>
+struct hash<bftreg::Tag> {
+  size_t operator()(const bftreg::Tag& t) const noexcept {
+    size_t h = std::hash<bftreg::ProcessId>{}(t.writer);
+    return h ^ (t.num + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,71 @@
+#include "crypto/siphash.h"
+
+namespace bftreg::crypto {
+
+namespace {
+
+inline uint64_t rotl(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+inline uint64_t read_le64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+#define SIPROUND          \
+  do {                    \
+    v0 += v1;             \
+    v1 = rotl(v1, 13);    \
+    v1 ^= v0;             \
+    v0 = rotl(v0, 32);    \
+    v2 += v3;             \
+    v3 = rotl(v3, 16);    \
+    v3 ^= v2;             \
+    v0 += v3;             \
+    v3 = rotl(v3, 21);    \
+    v3 ^= v0;             \
+    v2 += v1;             \
+    v1 = rotl(v1, 17);    \
+    v1 ^= v2;             \
+    v2 = rotl(v2, 32);    \
+  } while (0)
+
+}  // namespace
+
+uint64_t siphash24(const SipHashKey& key, const void* data, size_t len) {
+  const auto* in = static_cast<const uint8_t*>(data);
+  uint64_t v0 = 0x736f6d6570736575ULL ^ key.k0;
+  uint64_t v1 = 0x646f72616e646f6dULL ^ key.k1;
+  uint64_t v2 = 0x6c7967656e657261ULL ^ key.k0;
+  uint64_t v3 = 0x7465646279746573ULL ^ key.k1;
+
+  const size_t end = len - (len % 8);
+  for (size_t i = 0; i < end; i += 8) {
+    const uint64_t m = read_le64(in + i);
+    v3 ^= m;
+    SIPROUND;
+    SIPROUND;
+    v0 ^= m;
+  }
+
+  uint64_t b = static_cast<uint64_t>(len) << 56;
+  const size_t left = len & 7;
+  for (size_t i = 0; i < left; ++i) {
+    b |= static_cast<uint64_t>(in[end + i]) << (8 * i);
+  }
+  v3 ^= b;
+  SIPROUND;
+  SIPROUND;
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  SIPROUND;
+  SIPROUND;
+  SIPROUND;
+  SIPROUND;
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+#undef SIPROUND
+
+}  // namespace bftreg::crypto

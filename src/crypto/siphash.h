@@ -1,0 +1,32 @@
+// SipHash-2-4 keyed pseudo-random function.
+//
+// The paper's channels "provide message authentication using digital
+// signatures" (Section II-A) so that Byzantine servers cannot spread
+// misinformation about a message's sender. The property the proofs actually
+// use is unforgeability of sender identity; a keyed MAC over pairwise shared
+// keys provides exactly that in our closed simulated world (see DESIGN.md,
+// substitution table). SipHash is the standard short-input MAC for this job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace bftreg::crypto {
+
+struct SipHashKey {
+  uint64_t k0{0};
+  uint64_t k1{0};
+
+  friend bool operator==(const SipHashKey&, const SipHashKey&) = default;
+};
+
+/// SipHash-2-4 of `len` bytes under `key`.
+uint64_t siphash24(const SipHashKey& key, const void* data, size_t len);
+
+inline uint64_t siphash24(const SipHashKey& key, const Bytes& data) {
+  return siphash24(key, data.data(), data.size());
+}
+
+}  // namespace bftreg::crypto

@@ -1,0 +1,114 @@
+#include "harness/scenarios.h"
+
+#include <string>
+
+namespace bftreg::harness {
+
+using registers::MsgType;
+using registers::RegisterMessage;
+
+void LaggingLiar::handle(const net::Envelope& env, adversary::ServerContext& ctx) {
+  auto msg = RegisterMessage::parse(env.payload);
+  if (!msg) return;
+  RegisterMessage resp;
+  resp.op_id = msg->op_id;
+  switch (msg->type) {
+    case MsgType::kQueryTag:
+      resp.type = MsgType::kTagResp;
+      resp.tag = store_.empty() ? Tag::initial() : store_.rbegin()->first;
+      break;
+    case MsgType::kPutData:
+      store_[msg->tag] = msg->value;
+      resp.type = MsgType::kAck;
+      resp.tag = msg->tag;
+      break;
+    case MsgType::kQueryData: {
+      resp.type = MsgType::kDataResp;
+      auto it = store_.rbegin();
+      if (it != store_.rend() && std::next(it) != store_.rend()) ++it;
+      if (it == store_.rend()) {
+        resp.tag = Tag::initial();
+        resp.value = ctx.initial;
+      } else {
+        resp.tag = it->first;
+        resp.value = it->second;
+      }
+      break;
+    }
+    default:
+      return;
+  }
+  ctx.send(env.from, resp);
+}
+
+Bytes run_theorem5_schedule(SimCluster& cluster) {
+  cluster.start();
+  auto& delay = cluster.sim().delay_model();
+  const auto n = static_cast<uint32_t>(cluster.options().config.n);
+  const auto f = static_cast<uint32_t>(cluster.options().config.f);
+
+  // Generalization of the proof's n = 4, f = 1 schedule to arbitrary f
+  // (callers place LaggingLiar adversaries at servers 0..f-1):
+  //   W1(v1) is withheld from the last f servers;
+  //   W2(v2) is withheld from the f honest servers right after the liars;
+  //   the read gets no replies from the last f servers.
+  // At n = 4f the read's quorum sees v1 at 2f servers (f liars + f honest
+  // that missed W2) and v2 at only f < f+1 -- stale v1 wins. At n = 4f+1
+  // one more fresh server pushes v2 to f+1 witnesses and its higher tag
+  // prevails.
+  auto withhold_put = [](uint32_t writer, uint32_t from, uint32_t to) {
+    return [writer, from, to](const net::Envelope& env) -> std::optional<TimeNs> {
+      auto msg = RegisterMessage::parse(env.payload);
+      if (msg && msg->type == MsgType::kPutData &&
+          env.from == ProcessId::writer(writer) && env.to.is_server() &&
+          env.to.index >= from && env.to.index < to) {
+        return TimeNs{1'000'000'000};
+      }
+      return std::nullopt;
+    };
+  };
+
+  delay.set_hook(withhold_put(0, n - f, n));
+  cluster.write(0, Bytes{'v', '1'});
+  cluster.sim().run_until_time(cluster.sim().now() + 100'000);
+
+  delay.set_hook(withhold_put(1, f, 2 * f));
+  cluster.write(1, Bytes{'v', '2'});
+  cluster.sim().run_until_time(cluster.sim().now() + 100'000);
+
+  delay.set_hook([n, f](const net::Envelope& env) -> std::optional<TimeNs> {
+    if (env.from.is_server() && env.from.index >= n - f &&
+        env.to.role == Role::kReader) {
+      return TimeNs{1'000'000'000};
+    }
+    return std::nullopt;
+  });
+  return cluster.read(0).value;
+}
+
+registers::ReadResult run_theorem3_schedule(SimCluster& cluster) {
+  cluster.write(0, Bytes{'v', '1'});
+  cluster.sim().run_until_idle();
+
+  cluster.sim().delay_model().set_hook(
+      [](const net::Envelope& env) -> std::optional<TimeNs> {
+        if (env.from.role != Role::kWriter || env.from.index == 0) {
+          return std::nullopt;
+        }
+        auto msg = RegisterMessage::parse(env.payload);
+        if (!msg || msg->type != MsgType::kPutData) return std::nullopt;
+        if (env.to == ProcessId::server(env.from.index)) return TimeNs{10};
+        return TimeNs{1'000'000'000};  // "the other messages ... are slow"
+      });
+
+  for (size_t w = 1; w <= 4; ++w) {
+    cluster.start_write(w, Bytes{'v', static_cast<uint8_t>('1' + w)});
+  }
+  cluster.sim().run_until_time(cluster.sim().now() + 200'000);
+
+  const uint64_t rid = cluster.start_read(0);
+  cluster.await(rid);
+  return cluster.read_result(rid);
+}
+
+}  // namespace bftreg::harness

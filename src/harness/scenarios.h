@@ -1,0 +1,39 @@
+// Scripted executions from the paper's proofs, packaged for reuse by
+// tests, examples and the resilience benches.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "adversary/byzantine_server.h"
+#include "harness/sim_cluster.h"
+
+namespace bftreg::harness {
+
+/// The Theorem 5 Byzantine server: stores PUT-DATA honestly and answers
+/// QUERY-TAG honestly, but serves readers the *second newest* pair --
+/// "s_0 returns v1 instead of v2".
+class LaggingLiar final : public adversary::Strategy {
+ public:
+  void handle(const net::Envelope& env, adversary::ServerContext& ctx) override;
+
+ private:
+  std::map<Tag, Bytes> store_;
+};
+
+/// Runs the Theorem 5 proof schedule on `cluster` (requires 2 writers and
+/// 1 reader; server 0 should be a LaggingLiar):
+///   W1(v1) completes with PUT-DATA withheld from the last server;
+///   W2(v2) completes with PUT-DATA withheld from server 1;
+///   the read runs with the last server's replies delayed.
+/// Returns the value the read returned. At n = 4f the result is the stale
+/// "v1"; at n = 4f+1 the same schedule yields "v2".
+Bytes run_theorem5_schedule(SimCluster& cluster);
+
+/// Runs the Theorem 3 schedule (requires n = 5, f = 1, 5 writers, 1
+/// reader): W1(v1) completes everywhere; W2..W5 start writes whose
+/// PUT-DATA reaches only "their" server; the read then runs. Plain BSR
+/// returns v0 (regularity violation); the history/2R variants return v1.
+registers::ReadResult run_theorem3_schedule(SimCluster& cluster);
+
+}  // namespace bftreg::harness

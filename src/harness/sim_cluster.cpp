@@ -1,0 +1,291 @@
+#include "harness/sim_cluster.h"
+
+#include <unordered_map>
+
+namespace bftreg::harness {
+
+using registers::ReadResult;
+using registers::WriteResult;
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kBsr: return "BSR";
+    case Protocol::kBsrHistory: return "BSR-history";
+    case Protocol::kBsr2R: return "BSR-2R";
+    case Protocol::kBcsr: return "BCSR";
+    case Protocol::kRb: return "RB-baseline";
+    case Protocol::kBsrWb: return "BSR-WB";
+  }
+  return "?";
+}
+
+size_t min_servers(Protocol p, size_t f) {
+  switch (p) {
+    case Protocol::kBcsr:
+      return 5 * f + 1;
+    case Protocol::kRb:
+      return 3 * f + 1;
+    default:
+      return 4 * f + 1;
+  }
+}
+
+struct SimCluster::WriterSlot {
+  std::unique_ptr<net::IProcess> proc;
+  std::function<void(Bytes, registers::BsrWriter::Callback)> start;
+};
+
+struct SimCluster::ReaderSlot {
+  std::unique_ptr<net::IProcess> proc;
+  std::function<void(registers::BsrReader::Callback)> start;
+};
+
+SimCluster::SimCluster(ClusterOptions options) : options_(std::move(options)) {
+  assert(options_.config.n >= 1 && options_.config.n >= options_.config.f);
+  sim_ = std::make_unique<sim::Simulator>(sim::SimConfig::with_uniform_delay(
+      options_.seed, options_.delay_lo, options_.delay_hi));
+  if (options_.protocol == Protocol::kBcsr) {
+    initial_elements_ = registers::bcsr_initial_elements(options_.config);
+  }
+  build();
+}
+
+SimCluster::~SimCluster() = default;
+
+Bytes SimCluster::initial_for_server(size_t index) const {
+  if (options_.protocol == Protocol::kBcsr) return initial_elements_[index];
+  return options_.config.initial_value;
+}
+
+void SimCluster::build() {
+  const auto& cfg = options_.config;
+
+  servers_.resize(cfg.n);
+  honest_servers_.assign(cfg.n, nullptr);
+  for (size_t i = 0; i < cfg.n; ++i) {
+    const ProcessId pid = ProcessId::server(static_cast<uint32_t>(i));
+    if (options_.protocol == Protocol::kRb) {
+      servers_[i] = std::make_unique<registers::RbServer>(pid, cfg, sim_.get(),
+                                                          initial_for_server(i));
+    } else {
+      auto srv = std::make_unique<registers::RegisterServer>(pid, cfg, sim_.get(),
+                                                             initial_for_server(i));
+      honest_servers_[i] = srv.get();
+      servers_[i] = std::move(srv);
+    }
+  }
+
+  for (size_t i = 0; i < options_.num_writers; ++i) {
+    const ProcessId pid = writer_id(i);
+    auto slot = std::make_unique<WriterSlot>();
+    if (options_.protocol == Protocol::kBcsr) {
+      auto w = std::make_unique<registers::BcsrWriter>(pid, cfg, sim_.get());
+      auto* raw = w.get();
+      slot->start = [raw](Bytes v, registers::BsrWriter::Callback cb) {
+        raw->start_write(std::move(v), std::move(cb));
+      };
+      slot->proc = std::move(w);
+    } else {
+      auto w = std::make_unique<registers::BsrWriter>(pid, cfg, sim_.get());
+      auto* raw = w.get();
+      slot->start = [raw](Bytes v, registers::BsrWriter::Callback cb) {
+        raw->start_write(std::move(v), std::move(cb));
+      };
+      slot->proc = std::move(w);
+    }
+    writers_.push_back(std::move(slot));
+  }
+
+  for (size_t i = 0; i < options_.num_readers; ++i) {
+    const ProcessId pid = reader_id(i);
+    auto slot = std::make_unique<ReaderSlot>();
+    switch (options_.protocol) {
+      case Protocol::kBsr: {
+        auto r = std::make_unique<registers::BsrReader>(pid, cfg, sim_.get());
+        auto* raw = r.get();
+        slot->start = [raw](registers::BsrReader::Callback cb) {
+          raw->start_read(std::move(cb));
+        };
+        slot->proc = std::move(r);
+        break;
+      }
+      case Protocol::kBsrHistory: {
+        auto r = std::make_unique<registers::HistoryReader>(pid, cfg, sim_.get());
+        auto* raw = r.get();
+        slot->start = [raw](registers::BsrReader::Callback cb) {
+          raw->start_read(std::move(cb));
+        };
+        slot->proc = std::move(r);
+        break;
+      }
+      case Protocol::kBsr2R: {
+        auto r = std::make_unique<registers::TwoRoundReader>(pid, cfg, sim_.get());
+        auto* raw = r.get();
+        slot->start = [raw](registers::BsrReader::Callback cb) {
+          raw->start_read(std::move(cb));
+        };
+        slot->proc = std::move(r);
+        break;
+      }
+      case Protocol::kBcsr: {
+        auto r = std::make_unique<registers::BcsrReader>(pid, cfg, sim_.get());
+        auto* raw = r.get();
+        slot->start = [raw](registers::BsrReader::Callback cb) {
+          raw->start_read(std::move(cb));
+        };
+        slot->proc = std::move(r);
+        break;
+      }
+      case Protocol::kRb: {
+        auto r = std::make_unique<registers::RbReader>(pid, cfg, sim_.get());
+        auto* raw = r.get();
+        slot->start = [raw](registers::BsrReader::Callback cb) {
+          raw->start_read(std::move(cb));
+        };
+        slot->proc = std::move(r);
+        break;
+      }
+      case Protocol::kBsrWb: {
+        auto r = std::make_unique<registers::WriteBackReader>(pid, cfg, sim_.get());
+        auto* raw = r.get();
+        slot->start = [raw](registers::BsrReader::Callback cb) {
+          raw->start_read(std::move(cb));
+        };
+        slot->proc = std::move(r);
+        break;
+      }
+    }
+    readers_.push_back(std::move(slot));
+  }
+}
+
+void SimCluster::set_byzantine(size_t index, adversary::StrategyKind kind) {
+  set_byzantine(index, adversary::make_strategy(kind, options_.seed + index));
+}
+
+void SimCluster::set_byzantine(size_t index,
+                               std::unique_ptr<adversary::Strategy> strategy) {
+  assert(!started_ && "set_byzantine must precede start()");
+  assert(index < options_.config.n);
+  adversary::ServerContext ctx;
+  ctx.self = ProcessId::server(static_cast<uint32_t>(index));
+  ctx.config = options_.config;
+  ctx.transport = sim_.get();
+  ctx.initial = initial_for_server(index);
+  ctx.rng = Rng(options_.seed * 7919 + index);
+  servers_[index] =
+      std::make_unique<adversary::ByzantineServer>(std::move(ctx), std::move(strategy));
+  honest_servers_[index] = nullptr;
+}
+
+void SimCluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    sim_->add_process(ProcessId::server(static_cast<uint32_t>(i)), servers_[i].get());
+  }
+  for (size_t i = 0; i < writers_.size(); ++i) {
+    sim_->add_process(writer_id(i), writers_[i]->proc.get());
+  }
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    sim_->add_process(reader_id(i), readers_[i]->proc.get());
+  }
+}
+
+uint64_t SimCluster::start_write(size_t writer, Bytes value) {
+  start();
+  assert(writer < writers_.size());
+  const ProcessId pid = writer_id(writer);
+  const uint64_t rec = recorder_.begin_write(pid, sim_->now(), value);
+  pending_writes_[rec];  // default-construct the pending entry
+  WriterSlot* slot = writers_[writer].get();
+  sim_->post(pid, [this, slot, rec, v = std::move(value)]() mutable {
+    slot->start(std::move(v), [this, rec](const WriteResult& r) {
+      recorder_.complete_write(rec, sim_->now(), r.tag);
+      auto& p = pending_writes_[rec];
+      p.done = true;
+      p.result = r;
+    });
+  });
+  return rec;
+}
+
+uint64_t SimCluster::start_read(size_t reader) {
+  start();
+  assert(reader < readers_.size());
+  const ProcessId pid = reader_id(reader);
+  const uint64_t rec = recorder_.begin_read(pid, sim_->now());
+  pending_reads_[rec];
+  ReaderSlot* slot = readers_[reader].get();
+  sim_->post(pid, [this, slot, rec] {
+    slot->start([this, rec](const ReadResult& r) {
+      recorder_.complete_read(rec, sim_->now(), r.value, r.tag);
+      auto& p = pending_reads_[rec];
+      p.done = true;
+      p.result = r;
+    });
+  });
+  return rec;
+}
+
+bool SimCluster::op_done(uint64_t recorder_id) const {
+  if (auto it = pending_writes_.find(recorder_id); it != pending_writes_.end()) {
+    return it->second.done;
+  }
+  if (auto it = pending_reads_.find(recorder_id); it != pending_reads_.end()) {
+    return it->second.done;
+  }
+  return false;
+}
+
+void SimCluster::await(uint64_t recorder_id) {
+  const bool ok = sim_->run_until([&] { return op_done(recorder_id); });
+  assert(ok && "operation did not complete (liveness failure?)");
+  (void)ok;
+}
+
+const WriteResult& SimCluster::write_result(uint64_t recorder_id) const {
+  auto it = pending_writes_.find(recorder_id);
+  assert(it != pending_writes_.end() && it->second.done);
+  return it->second.result;
+}
+
+const ReadResult& SimCluster::read_result(uint64_t recorder_id) const {
+  auto it = pending_reads_.find(recorder_id);
+  assert(it != pending_reads_.end() && it->second.done);
+  return it->second.result;
+}
+
+WriteResult SimCluster::write(size_t writer, Bytes value) {
+  const uint64_t rec = start_write(writer, std::move(value));
+  await(rec);
+  return write_result(rec);
+}
+
+ReadResult SimCluster::read(size_t reader) {
+  const uint64_t rec = start_read(reader);
+  await(rec);
+  return read_result(rec);
+}
+
+void SimCluster::crash_server(size_t index) {
+  sim_->mark_crashed(ProcessId::server(static_cast<uint32_t>(index)));
+}
+
+void SimCluster::crash_writer(size_t index) {
+  sim_->mark_crashed(writer_id(index));
+}
+
+registers::RegisterServer* SimCluster::server(size_t index) {
+  return honest_servers_[index];
+}
+
+size_t SimCluster::total_stored_bytes() const {
+  size_t total = 0;
+  for (const auto* srv : honest_servers_) {
+    if (srv != nullptr) total += srv->stored_bytes();
+  }
+  return total;
+}
+
+}  // namespace bftreg::harness

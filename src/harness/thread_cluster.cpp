@@ -1,0 +1,190 @@
+#include "harness/thread_cluster.h"
+
+#include <cassert>
+#include <future>
+
+namespace bftreg::harness {
+
+using registers::ReadResult;
+using registers::WriteResult;
+
+struct ThreadCluster::WriterSlot {
+  std::unique_ptr<net::IProcess> proc;
+  std::function<void(Bytes, registers::BsrWriter::Callback)> start;
+};
+
+struct ThreadCluster::ReaderSlot {
+  std::unique_ptr<net::IProcess> proc;
+  std::function<void(registers::BsrReader::Callback)> start;
+};
+
+ThreadCluster::ThreadCluster(ThreadClusterOptions options)
+    : options_(std::move(options)) {
+  runtime::RuntimeConfig rc;
+  rc.seed = options_.seed;
+  if (options_.delay_hi > 0) {
+    rc.delay = std::make_unique<net::UniformDelay>(options_.delay_lo,
+                                                   options_.delay_hi);
+  }
+  net_ = std::make_unique<runtime::ThreadNetwork>(std::move(rc));
+  if (options_.protocol == Protocol::kBcsr) {
+    initial_elements_ = registers::bcsr_initial_elements(options_.config);
+  }
+  build();
+}
+
+ThreadCluster::~ThreadCluster() { stop(); }
+
+Bytes ThreadCluster::initial_for_server(size_t index) const {
+  if (options_.protocol == Protocol::kBcsr) return initial_elements_[index];
+  return options_.config.initial_value;
+}
+
+void ThreadCluster::build() {
+  const auto& cfg = options_.config;
+
+  servers_.resize(cfg.n);
+  for (size_t i = 0; i < cfg.n; ++i) {
+    const ProcessId pid = ProcessId::server(static_cast<uint32_t>(i));
+    if (options_.protocol == Protocol::kRb) {
+      servers_[i] = std::make_unique<registers::RbServer>(pid, cfg, net_.get(),
+                                                          initial_for_server(i));
+    } else {
+      servers_[i] = std::make_unique<registers::RegisterServer>(
+          pid, cfg, net_.get(), initial_for_server(i));
+    }
+  }
+
+  for (size_t i = 0; i < options_.num_writers; ++i) {
+    const ProcessId pid = ProcessId::writer(static_cast<uint32_t>(i));
+    auto slot = std::make_unique<WriterSlot>();
+    if (options_.protocol == Protocol::kBcsr) {
+      auto w = std::make_unique<registers::BcsrWriter>(pid, cfg, net_.get());
+      auto* raw = w.get();
+      slot->start = [raw](Bytes v, registers::BsrWriter::Callback cb) {
+        raw->start_write(std::move(v), std::move(cb));
+      };
+      slot->proc = std::move(w);
+    } else {
+      auto w = std::make_unique<registers::BsrWriter>(pid, cfg, net_.get());
+      auto* raw = w.get();
+      slot->start = [raw](Bytes v, registers::BsrWriter::Callback cb) {
+        raw->start_write(std::move(v), std::move(cb));
+      };
+      slot->proc = std::move(w);
+    }
+    writers_.push_back(std::move(slot));
+  }
+
+  auto make_reader = [&](const ProcessId& pid,
+                         auto reader_ptr) -> std::unique_ptr<ReaderSlot> {
+    auto slot = std::make_unique<ReaderSlot>();
+    auto* raw = reader_ptr.get();
+    slot->start = [raw](registers::BsrReader::Callback cb) {
+      raw->start_read(std::move(cb));
+    };
+    slot->proc = std::move(reader_ptr);
+    (void)pid;
+    return slot;
+  };
+
+  for (size_t i = 0; i < options_.num_readers; ++i) {
+    const ProcessId pid = ProcessId::reader(static_cast<uint32_t>(i));
+    switch (options_.protocol) {
+      case Protocol::kBsr:
+        readers_.push_back(make_reader(
+            pid, std::make_unique<registers::BsrReader>(pid, cfg, net_.get())));
+        break;
+      case Protocol::kBsrHistory:
+        readers_.push_back(make_reader(
+            pid, std::make_unique<registers::HistoryReader>(pid, cfg, net_.get())));
+        break;
+      case Protocol::kBsr2R:
+        readers_.push_back(make_reader(
+            pid,
+            std::make_unique<registers::TwoRoundReader>(pid, cfg, net_.get())));
+        break;
+      case Protocol::kBcsr:
+        readers_.push_back(make_reader(
+            pid, std::make_unique<registers::BcsrReader>(pid, cfg, net_.get())));
+        break;
+      case Protocol::kRb:
+        readers_.push_back(make_reader(
+            pid, std::make_unique<registers::RbReader>(pid, cfg, net_.get())));
+        break;
+      case Protocol::kBsrWb:
+        readers_.push_back(make_reader(
+            pid,
+            std::make_unique<registers::WriteBackReader>(pid, cfg, net_.get())));
+        break;
+    }
+  }
+}
+
+void ThreadCluster::set_byzantine(size_t index, adversary::StrategyKind kind) {
+  assert(!started_ && "set_byzantine must precede start()");
+  adversary::ServerContext ctx;
+  ctx.self = ProcessId::server(static_cast<uint32_t>(index));
+  ctx.config = options_.config;
+  ctx.transport = net_.get();
+  ctx.initial = initial_for_server(index);
+  ctx.rng = Rng(options_.seed * 7919 + index);
+  servers_[index] = std::make_unique<adversary::ByzantineServer>(
+      std::move(ctx), adversary::make_strategy(kind, options_.seed + index));
+}
+
+void ThreadCluster::start() {
+  std::call_once(start_once_, [this] { start_impl(); });
+}
+
+void ThreadCluster::start_impl() {
+  started_ = true;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    net_->add_process(ProcessId::server(static_cast<uint32_t>(i)),
+                      servers_[i].get());
+  }
+  for (size_t i = 0; i < writers_.size(); ++i) {
+    net_->add_process(ProcessId::writer(static_cast<uint32_t>(i)),
+                      writers_[i]->proc.get());
+  }
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    net_->add_process(ProcessId::reader(static_cast<uint32_t>(i)),
+                      readers_[i]->proc.get());
+  }
+  net_->start();
+}
+
+void ThreadCluster::stop() {
+  if (net_) net_->stop();
+}
+
+WriteResult ThreadCluster::write(size_t writer, Bytes value) {
+  start();
+  WriteResult out;
+  runtime::BlockingInvoker invoker(*net_);
+  invoker.run(ProcessId::writer(static_cast<uint32_t>(writer)),
+              [&](std::function<void()> done) {
+                writers_[writer]->start(std::move(value),
+                                        [&out, done](const WriteResult& r) {
+                                          out = r;
+                                          done();
+                                        });
+              });
+  return out;
+}
+
+ReadResult ThreadCluster::read(size_t reader) {
+  start();
+  ReadResult out;
+  runtime::BlockingInvoker invoker(*net_);
+  invoker.run(ProcessId::reader(static_cast<uint32_t>(reader)),
+              [&](std::function<void()> done) {
+                readers_[reader]->start([&out, done](const ReadResult& r) {
+                  out = r;
+                  done();
+                });
+              });
+  return out;
+}
+
+}  // namespace bftreg::harness

@@ -1,0 +1,76 @@
+// Wall-clock experiment harness: the SimCluster counterpart on real
+// threads.
+//
+// Same protocol selection and Byzantine placement as SimCluster, but the
+// processes run on runtime::ThreadNetwork (one mailbox thread each, real
+// delays, wall-clock time) and operations are blocking calls safe to issue
+// from concurrent caller threads -- one caller per client, per the model's
+// one-operation-per-client rule. Used by bench_wallclock and available to
+// applications that want a ready-made deployment harness.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "adversary/byzantine_server.h"
+#include "harness/sim_cluster.h"  // Protocol enum, min_servers
+#include "registers/registers.h"
+#include "runtime/thread_network.h"
+
+namespace bftreg::harness {
+
+struct ThreadClusterOptions {
+  Protocol protocol{Protocol::kBsr};
+  registers::SystemConfig config{};
+  size_t num_writers{1};
+  size_t num_readers{1};
+  uint64_t seed{1};
+  /// Artificial one-way delay range in wall nanoseconds (0 = none).
+  TimeNs delay_lo{0};
+  TimeNs delay_hi{0};
+};
+
+class ThreadCluster {
+ public:
+  explicit ThreadCluster(ThreadClusterOptions options);
+  ~ThreadCluster();
+
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+
+  /// Replaces server `index` with a Byzantine one. Call before start().
+  void set_byzantine(size_t index, adversary::StrategyKind kind);
+
+  /// Spawns all threads; implicit on the first operation. Thread-safe and
+  /// idempotent: concurrent first operations from several client threads
+  /// race here by design.
+  void start();
+  void stop();
+
+  /// Blocking operations; safe to call from one thread per client index.
+  registers::WriteResult write(size_t writer, Bytes value);
+  registers::ReadResult read(size_t reader);
+
+  runtime::ThreadNetwork& net() { return *net_; }
+  const ThreadClusterOptions& options() const { return options_; }
+
+ private:
+  struct WriterSlot;
+  struct ReaderSlot;
+
+  Bytes initial_for_server(size_t index) const;
+  void build();
+  void start_impl();
+
+  ThreadClusterOptions options_;
+  std::unique_ptr<runtime::ThreadNetwork> net_;
+  std::vector<std::unique_ptr<net::IProcess>> servers_;
+  std::vector<std::unique_ptr<WriterSlot>> writers_;
+  std::vector<std::unique_ptr<ReaderSlot>> readers_;
+  std::vector<Bytes> initial_elements_;
+  std::once_flag start_once_;
+  bool started_{false};
+};
+
+}  // namespace bftreg::harness

@@ -1,0 +1,119 @@
+// Message delay models.
+//
+// The paper's system model is fully asynchronous: channels are reliable but
+// may reorder arbitrarily, and there is no bound on delay (Section II-A).
+// A `DelayModel` turns that nondeterminism into a reproducible, seeded
+// distribution. Per-link overrides and a payload-inspecting hook allow the
+// lower-bound proof schedules (Thms. 3, 5, 6) to be scripted exactly: "this
+// PUT-DATA is fast to s_i, slow to everyone else".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/envelope.h"
+
+namespace bftreg::net {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Latency to assign to this envelope. `rng` is the transport's seeded
+  /// stream, so equal seeds give equal schedules.
+  virtual TimeNs delay(const Envelope& env, Rng& rng) = 0;
+};
+
+/// Constant one-way delay.
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(TimeNs d) : d_(d) {}
+  TimeNs delay(const Envelope&, Rng&) override { return d_; }
+
+ private:
+  TimeNs d_;
+};
+
+/// Uniform in [lo, hi].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(TimeNs lo, TimeNs hi) : lo_(lo), hi_(hi) {}
+  TimeNs delay(const Envelope&, Rng& rng) override {
+    return rng.uniform_range(lo_, hi_);
+  }
+
+ private:
+  TimeNs lo_;
+  TimeNs hi_;
+};
+
+/// min + Exp(mean); the classic LAN tail model.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(TimeNs min, double mean_extra) : min_(min), mean_(mean_extra) {}
+  TimeNs delay(const Envelope&, Rng& rng) override {
+    return min_ + static_cast<TimeNs>(rng.exponential(mean_));
+  }
+
+ private:
+  TimeNs min_;
+  double mean_;
+};
+
+/// Heavy-tailed delays: min + LogNormal(mu, sigma).
+class LognormalDelay final : public DelayModel {
+ public:
+  LognormalDelay(TimeNs min, double mu, double sigma)
+      : min_(min), mu_(mu), sigma_(sigma) {}
+  TimeNs delay(const Envelope&, Rng& rng) override {
+    return min_ + static_cast<TimeNs>(rng.lognormal(mu_, sigma_));
+  }
+
+ private:
+  TimeNs min_;
+  double mu_;
+  double sigma_;
+};
+
+/// Wraps a base model with (a) per-directed-link overrides and (b) an
+/// optional payload-inspecting hook. The hook wins over link overrides,
+/// which win over the base model. This is how the impossibility-proof
+/// executions are scripted without touching protocol code.
+class ScriptedDelay final : public DelayModel {
+ public:
+  using Hook = std::function<std::optional<TimeNs>(const Envelope&)>;
+
+  explicit ScriptedDelay(std::unique_ptr<DelayModel> base) : base_(std::move(base)) {}
+
+  void set_link_delay(const ProcessId& from, const ProcessId& to, TimeNs d) {
+    links_[{from, to}] = d;
+  }
+  void clear_link_delay(const ProcessId& from, const ProcessId& to) {
+    links_.erase({from, to});
+  }
+  void clear_all_links() { links_.clear(); }
+
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+  void clear_hook() { hook_ = nullptr; }
+
+  TimeNs delay(const Envelope& env, Rng& rng) override {
+    if (hook_) {
+      if (auto d = hook_(env)) return *d;
+    }
+    auto it = links_.find({env.from, env.to});
+    if (it != links_.end()) return it->second;
+    return base_->delay(env, rng);
+  }
+
+ private:
+  std::unique_ptr<DelayModel> base_;
+  std::map<std::pair<ProcessId, ProcessId>, TimeNs> links_;
+  Hook hook_;
+};
+
+}  // namespace bftreg::net

@@ -1,0 +1,27 @@
+// Wire-level message envelope.
+//
+// Everything the protocols exchange travels as an `Envelope`: opaque payload
+// bytes plus addressing and a MAC. The simulator and the threaded runtime
+// both move envelopes; protocols never see transport internals.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "crypto/auth.h"
+
+namespace bftreg::net {
+
+struct Envelope {
+  ProcessId from;
+  ProcessId to;
+  Bytes payload;
+  /// Globally unique send sequence number; used for deterministic
+  /// tie-breaking in the simulator's event queue and for tracing.
+  uint64_t seq{0};
+  crypto::MacTag mac{0};
+  /// Transport time at which the message was sent.
+  TimeNs sent_at{0};
+};
+
+}  // namespace bftreg::net

@@ -1,0 +1,49 @@
+// Network accounting used by the bandwidth/storage experiments (E4, E7).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace bftreg::net {
+
+struct MetricsSnapshot {
+  uint64_t messages_sent{0};
+  uint64_t bytes_sent{0};
+  uint64_t messages_delivered{0};
+  uint64_t auth_failures{0};
+};
+
+/// Thread-safe counters; the simulator uses it single-threaded, the
+/// threaded runtime concurrently.
+class NetworkMetrics {
+ public:
+  void on_send(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.messages_sent;
+    snap_.bytes_sent += bytes;
+  }
+  void on_deliver() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.messages_delivered;
+  }
+  void on_auth_failure() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.auth_failures;
+  }
+
+  MetricsSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snap_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap_ = MetricsSnapshot{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot snap_;
+};
+
+}  // namespace bftreg::net

@@ -1,0 +1,53 @@
+// Transport and process interfaces.
+//
+// Protocol code (writers, readers, servers, broadcast) is written once as
+// event-driven state machines against `Transport` + `IProcess`, then run
+// either deterministically under the discrete-event `sim::Simulator` or in
+// real time under the `runtime::ThreadNetwork`. This is the central design
+// decision of the repo (DESIGN.md §6.1).
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "net/envelope.h"
+#include "net/metrics.h"
+
+namespace bftreg::net {
+
+/// A participant in the protocol. Handlers are always invoked in the
+/// process's execution context (simulator event or mailbox thread) -- never
+/// concurrently for the same process.
+class IProcess {
+ public:
+  virtual ~IProcess() = default;
+
+  /// Called once before any message is delivered.
+  virtual void on_start() {}
+
+  /// An authenticated message has arrived. `env.payload` is adversarial
+  /// input if the sender is Byzantine; implementations must parse defensively.
+  virtual void on_message(const Envelope& env) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends payload over the reliable authenticated channel from->to.
+  /// Never blocks. Delivery order is arbitrary (asynchronous model).
+  virtual void send(const ProcessId& from, const ProcessId& to, Bytes payload) = 0;
+
+  /// Current transport time (virtual in the simulator, wall clock in the
+  /// threaded runtime), in nanoseconds.
+  virtual TimeNs now() const = 0;
+
+  /// Runs `fn` in `pid`'s execution context (as a zero-delay event in the
+  /// simulator; on the mailbox thread in the runtime). Used to inject
+  /// client operation starts without racing message handlers.
+  virtual void post(const ProcessId& pid, std::function<void()> fn) = 0;
+
+  virtual NetworkMetrics& metrics() = 0;
+};
+
+}  // namespace bftreg::net

@@ -1,0 +1,80 @@
+// BCSR: Byzantine Coded Safe Register (Section IV, Figs. 4-6).
+//
+// Single-writer multi-reader safe register storing [n, k] MDS coded
+// elements, k = n - 5f. The write is Fig. 1's two phases except PUT-DATA
+// carries the per-server coded element Phi_i(v) (Fig. 4 line 7). The read
+// (Fig. 5) is one-shot: collect n-f coded elements and run the
+// error-correcting decoder Phi^{-1}; among the received elements at most
+// (n-f) - (n-3f) = 2f are erroneous (Byzantine-corrupted or stale), which
+// is exactly the decoder's budget (Lemma 4).
+//
+// The emulation tolerates multiple writers as long as their writes are
+// never concurrent (paper, footnote 2); concurrent writes may cause a
+// decode failure, in which case the read falls back to the reader's last
+// decoded value (initially v0) -- consistent with Definition 1(ii).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "codec/mds_code.h"
+#include "net/transport.h"
+#include "registers/bsr_reader.h"
+#include "registers/bsr_writer.h"
+#include "registers/config.h"
+
+namespace bftreg::registers {
+
+/// Builds the per-server initial elements Phi_i(v0) that BCSR servers are
+/// seeded with (Fig. 6: L initially {(t0, c0^s)}).
+std::vector<Bytes> bcsr_initial_elements(const SystemConfig& config);
+
+class BcsrWriter final : public BsrWriter {
+ public:
+  BcsrWriter(ProcessId self, SystemConfig config, net::Transport* transport,
+             uint32_t object = 0);
+
+ protected:
+  /// Fig. 4 line 7: server i receives (tag, Phi_i(v)).
+  void send_put_data(const Tag& tag) override;
+
+ private:
+  codec::MdsCode code_;
+};
+
+class BcsrReader final : public net::IProcess {
+ public:
+  using Callback = std::function<void(const ReadResult&)>;
+
+  BcsrReader(ProcessId self, SystemConfig config, net::Transport* transport,
+             uint32_t object = 0);
+
+  void start_read(Callback callback);
+  void on_message(const net::Envelope& env) override;
+
+  bool busy() const { return reading_; }
+  const ProcessId& id() const { return self_; }
+  uint64_t decode_failures() const { return decode_failures_; }
+
+ private:
+  void finish();
+
+  const ProcessId self_;
+  const SystemConfig config_;
+  net::Transport* const transport_;
+  const uint32_t object_;
+  codec::MdsCode code_;
+
+  Bytes last_value_;  // falls back here when decoding is impossible
+
+  bool reading_{false};
+  uint64_t op_id_{0};
+  QuorumTracker responded_;
+  std::vector<std::optional<Bytes>> elements_;  // index = server position
+  Callback callback_;
+  TimeNs invoked_at_{0};
+  uint64_t decode_failures_{0};
+};
+
+}  // namespace bftreg::registers

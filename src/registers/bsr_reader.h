@@ -1,0 +1,73 @@
+// BSR one-shot read protocol: Fig. 2.
+//
+// A single get-data phase: QUERY-DATA to all servers, wait for n-f
+// DATA-RESPs, build P = the set of (tag, value) pairs reported identically
+// by at least f+1 servers (the "witness" rule of Section III: f+1 matching
+// reports pin at least one honest server behind the pair). Return the
+// highest pair of P if it beats the reader's local pair, else the local
+// pair (initially (t0, v0)).
+//
+// One round of client-to-server communication -- Definition 3's one-shot
+// read -- which is the paper's headline property.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "net/transport.h"
+#include "registers/config.h"
+#include "registers/messages.h"
+#include "registers/quorum.h"
+
+namespace bftreg::registers {
+
+struct ReadResult {
+  Bytes value;
+  Tag tag;               // tag associated with the returned value
+  bool fresh{false};     // true iff P was non-empty and beat the local pair
+  TimeNs invoked_at{0};
+  TimeNs completed_at{0};
+  int rounds{1};
+};
+
+class BsrReader : public net::IProcess {
+ public:
+  using Callback = std::function<void(const ReadResult&)>;
+
+  BsrReader(ProcessId self, SystemConfig config, net::Transport* transport,
+            uint32_t object = 0);
+
+  /// Begins a read. Must run in this process's execution context.
+  void start_read(Callback callback);
+
+  void on_message(const net::Envelope& env) override;
+
+  bool busy() const { return reading_; }
+  const ProcessId& id() const { return self_; }
+
+  /// The reader's persistent local pair (t_local, v_local) of Fig. 2.
+  const Tag& local_tag() const { return local_.tag; }
+  const Bytes& local_value() const { return local_.value; }
+
+ private:
+  void finish();
+
+  const ProcessId self_;
+  const SystemConfig config_;
+  net::Transport* const transport_;
+  const uint32_t object_;
+
+  TaggedValue local_;  // persists across reads (Fig. 2 line 1)
+
+  bool reading_{false};
+  uint64_t op_id_{0};
+  QuorumTracker responded_;
+  /// First response per server this operation.
+  std::map<ProcessId, TaggedValue> responses_;
+  Callback callback_;
+  TimeNs invoked_at_{0};
+};
+
+}  // namespace bftreg::registers

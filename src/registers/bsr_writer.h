@@ -1,0 +1,86 @@
+// BSR write protocol: Fig. 1.
+//
+// Two phases:
+//   get-tag:  QUERY-TAG to all servers, wait for n-f TAG-RESPs, select the
+//             (f+1)-th highest tag t. The rank-(f+1) selection is what makes
+//             the phase Byzantine-robust: at most f fabricated sky-high tags
+//             can sit above it, so the selected tag is bounded by a tag an
+//             honest server actually reported, yet it is >= the tag of every
+//             complete preceding write (Lemma 2, Case 1).
+//   put-data: (t.num + 1, w) with the new value to all servers, wait for
+//             n-f ACKs.
+//
+// The writer is a single-operation client (the model allows at most one
+// outstanding operation per client); start_write asserts non-concurrency.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/transport.h"
+#include "registers/config.h"
+#include "registers/messages.h"
+#include "registers/quorum.h"
+
+namespace bftreg::registers {
+
+struct WriteResult {
+  Tag tag;                 // the tag this write installed
+  TimeNs invoked_at{0};
+  TimeNs completed_at{0};
+  int rounds{2};           // get-tag + put-data
+};
+
+class BsrWriter : public net::IProcess {
+ public:
+  using Callback = std::function<void(const WriteResult&)>;
+
+  /// `object` selects which shared variable this writer writes
+  /// (Section II-B); 0 is the default register.
+  BsrWriter(ProcessId self, SystemConfig config, net::Transport* transport,
+            uint32_t object = 0);
+
+  /// Begins write(v). Must be invoked in this process's execution context
+  /// (via Transport::post or from within one of its handlers).
+  void start_write(Bytes value, Callback callback);
+
+  void on_message(const net::Envelope& env) override;
+
+  bool busy() const { return phase_ != Phase::kIdle; }
+  const ProcessId& id() const { return self_; }
+  uint64_t writes_completed() const { return writes_completed_; }
+
+ protected:
+  /// Sends PUT-DATA to every server. The replication flavor sends the same
+  /// (tag, value); BCSR overrides this to send per-server coded elements.
+  virtual void send_put_data(const Tag& tag);
+
+  void send_to_all_servers(const RegisterMessage& msg);
+  void send_to_server(uint32_t index, const RegisterMessage& msg);
+  uint64_t current_op_id() const { return op_id_; }
+  uint32_t object() const { return object_; }
+
+  const ProcessId self_;
+  const SystemConfig config_;
+  net::Transport* const transport_;
+  const uint32_t object_;
+  Bytes value_;  // the value being written, visible to send_put_data
+
+ private:
+  enum class Phase { kIdle, kGetTag, kPutData };
+
+  void on_tag_resp(const ProcessId& from, const RegisterMessage& msg);
+  void on_ack(const ProcessId& from, const RegisterMessage& msg);
+  void finish();
+
+  Phase phase_{Phase::kIdle};
+  uint64_t op_id_{0};
+  QuorumTracker responded_;
+  std::vector<Tag> tags_;
+  Tag write_tag_{};
+  Callback callback_;
+  TimeNs invoked_at_{0};
+  uint64_t writes_completed_{0};
+};
+
+}  // namespace bftreg::registers

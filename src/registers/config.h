@@ -1,0 +1,74 @@
+// Shared system configuration for register emulations.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftreg::registers {
+
+/// How a server maintains its list L of (tag, value) pairs.
+enum class StorePolicy : uint8_t {
+  /// Fig. 3 verbatim: add (t_in, v_in) only when t_in exceeds every tag in
+  /// L. Minimal state; sufficient for BSR/BCSR safety.
+  kMaxOnly = 0,
+  /// Keep every distinct tag ever received. Required by the regularity
+  /// extensions (history reads, two-round reads with deferred replies),
+  /// which consult older entries of L.
+  kAll = 1,
+};
+
+struct SystemConfig {
+  size_t n{5};
+  size_t f{1};
+  Bytes initial_value{};  // v0
+  StorePolicy store_policy{StorePolicy::kAll};
+
+  /// Ablation knobs (0 = use the paper's value). Overriding these breaks
+  /// the correctness guarantees on purpose; bench_quorum_ablation uses them
+  /// to demonstrate *why* the paper's choices are necessary.
+  size_t witness_threshold_override{0};
+  size_t tag_rank_override{0};
+
+  /// History garbage collection: keep at most this many entries per object
+  /// in each server's list L (0 = unbounded, the paper's model). Pruning
+  /// never touches correctness of plain BSR/BCSR (they only consult the
+  /// newest pair) but *does* erode the regularity extensions, which consult
+  /// older entries -- tests/extensions_test.cpp demonstrates the history
+  /// fix failing the Theorem 3 schedule at max_history = 1.
+  size_t max_history{0};
+
+  /// Operations wait for exactly n - f server responses (Lemma 6 shows
+  /// waiting for more forfeits liveness).
+  size_t quorum() const { return n - f; }
+
+  /// Witness threshold: f + 1 identical responses pin at least one honest
+  /// server behind a value (Lemma 5 shows fewer is unsafe).
+  size_t witness_threshold() const {
+    return witness_threshold_override != 0 ? witness_threshold_override : f + 1;
+  }
+
+  /// get-tag selection rank: the writer picks the rank-th highest tag
+  /// (1 = maximum). The paper uses f + 1 (Fig. 1 line 4).
+  size_t tag_rank() const { return tag_rank_override != 0 ? tag_rank_override : f + 1; }
+
+  std::vector<ProcessId> servers() const {
+    std::vector<ProcessId> out;
+    out.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) out.push_back(ProcessId::server(i));
+    return out;
+  }
+
+  /// BSR resilience requirement (Theorems 2 and 5).
+  bool valid_for_bsr() const { return n >= 4 * f + 1; }
+
+  /// BCSR resilience requirement (Lemma 4 and Theorem 6).
+  bool valid_for_bcsr() const { return n >= 5 * f + 1; }
+
+  /// RB-based baseline requirement (Bracha broadcast bound).
+  bool valid_for_rb() const { return n >= 3 * f + 1; }
+};
+
+}  // namespace bftreg::registers

@@ -1,0 +1,63 @@
+// History-based regular read: first regularity fix of Section III-C.
+//
+// "We change line 9 of Algorithm 3 to send the entire history of writes (L)
+// instead of just the locally available (t, v) pair."
+//
+// The read stays one-shot (a single QUERY-HISTORY round), but a server now
+// *witnesses* every pair in its history, not just its newest. In the
+// Theorem 3 counterexample this is exactly what rescues regularity: the
+// four concurrent writers each reached only one server with their PUT-DATA,
+// so no new pair has f+1 witnesses -- but the previously completed write is
+// in every honest server's history and wins, instead of the read sliding
+// back to v0.
+//
+// Costs: server-to-reader bandwidth grows with the history length
+// (bench_regularity and bench_storage_comm quantify this against BSR).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "net/transport.h"
+#include "registers/bsr_reader.h"
+#include "registers/config.h"
+#include "registers/messages.h"
+#include "registers/quorum.h"
+
+namespace bftreg::registers {
+
+class HistoryReader final : public net::IProcess {
+ public:
+  using Callback = std::function<void(const ReadResult&)>;
+
+  HistoryReader(ProcessId self, SystemConfig config, net::Transport* transport,
+                uint32_t object = 0);
+
+  void start_read(Callback callback);
+  void on_message(const net::Envelope& env) override;
+
+  bool busy() const { return reading_; }
+  const ProcessId& id() const { return self_; }
+  const Tag& local_tag() const { return local_.tag; }
+
+ private:
+  void finish();
+
+  const ProcessId self_;
+  const SystemConfig config_;
+  net::Transport* const transport_;
+  const uint32_t object_;
+
+  TaggedValue local_;
+
+  bool reading_{false};
+  uint64_t op_id_{0};
+  QuorumTracker responded_;
+  /// Witness counts: pair -> number of distinct servers whose history
+  /// contains it this operation.
+  std::map<TaggedValue, size_t> witnesses_;
+  Callback callback_;
+  TimeNs invoked_at_{0};
+};
+
+}  // namespace bftreg::registers

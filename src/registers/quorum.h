@@ -1,0 +1,33 @@
+// Client-side response bookkeeping shared by all protocol clients.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace bftreg::registers {
+
+/// Tracks which servers have responded in the current phase, deduplicating
+/// Byzantine double-replies: only the first response per server counts
+/// toward the quorum.
+class QuorumTracker {
+ public:
+  explicit QuorumTracker(size_t target) : target_(target) {}
+
+  /// Returns true if this server had not responded yet this phase.
+  bool add(const ProcessId& server) { return seen_.insert(server).second; }
+
+  bool contains(const ProcessId& server) const { return seen_.count(server) > 0; }
+  bool reached() const { return seen_.size() >= target_; }
+  size_t count() const { return seen_.size(); }
+  size_t target() const { return target_; }
+
+  void reset() { seen_.clear(); }
+
+ private:
+  size_t target_;
+  std::unordered_set<ProcessId> seen_;
+};
+
+}  // namespace bftreg::registers

@@ -1,0 +1,271 @@
+#include "registers/rb_register.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace bftreg::registers {
+
+namespace {
+
+/// RB blob: the (writer, op_id, object, tag, value) tuple a PUT-DATA
+/// carries.
+Bytes encode_blob(const ProcessId& writer, uint64_t op_id, uint32_t object,
+                  const Tag& tag, const Bytes& value) {
+  Serializer s;
+  s.put_process_id(writer);
+  s.put_u64(op_id);
+  s.put_u32(object);
+  s.put_tag(tag);
+  s.put_bytes(value);
+  return s.take();
+}
+
+struct Blob {
+  ProcessId writer;
+  uint64_t op_id;
+  uint32_t object;
+  Tag tag;
+  Bytes value;
+};
+
+std::optional<Blob> decode_blob(const Bytes& bytes) {
+  Deserializer d(bytes);
+  Blob b;
+  b.writer = d.get_process_id();
+  b.op_id = d.get_u64();
+  b.object = d.get_u32();
+  b.tag = d.get_tag();
+  b.value = d.get_bytes();
+  if (!d.done()) return std::nullopt;
+  return b;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- RbServer
+
+RbServer::RbServer(ProcessId self, SystemConfig config, net::Transport* transport,
+                   Bytes initial)
+    : self_(self),
+      config_(std::move(config)),
+      transport_(transport),
+      initial_(std::move(initial)) {
+  assert(config_.valid_for_rb());
+  object_store(0);
+  bracha_ = std::make_unique<broadcast::BrachaPeer>(
+      self_, config_.servers(), config_.f,
+      [this](const ProcessId& to, Bytes frame) {
+        transport_->send(self_, to, std::move(frame));
+      },
+      [this](Bytes blob) { on_rb_deliver(blob); });
+}
+
+std::map<Tag, Bytes>& RbServer::object_store(uint32_t object) {
+  auto it = stores_.find(object);
+  if (it == stores_.end()) {
+    it = stores_.emplace(object, std::map<Tag, Bytes>{}).first;
+    it->second.emplace(Tag::initial(), initial_);
+  }
+  return it->second;
+}
+
+void RbServer::reply(const ProcessId& to, const RegisterMessage& msg) {
+  transport_->send(self_, to, msg.encode());
+}
+
+void RbServer::on_message(const net::Envelope& env) {
+  // Server-to-server Bracha frames first (they are not RegisterMessages).
+  if (env.from.is_server() && bracha_->on_frame(env.from, env.payload)) return;
+
+  auto msg = RegisterMessage::parse(env.payload);
+  if (!msg) return;
+  switch (msg->type) {
+    case MsgType::kQueryTag: {
+      RegisterMessage resp;
+      resp.type = MsgType::kTagResp;
+      resp.op_id = msg->op_id;
+      resp.object = msg->object;
+      resp.tag = object_store(msg->object).rbegin()->first;
+      reply(env.from, resp);
+      break;
+    }
+    case MsgType::kPutData:
+      handle_put_data(env.from, *msg);
+      break;
+    case MsgType::kQueryData:
+      handle_query(env.from, *msg);
+      break;
+    case MsgType::kReadDone: {
+      auto it = subscribers_.find(env.from);
+      if (it != subscribers_.end() && it->second.first <= msg->op_id) {
+        subscribers_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RbServer::handle_put_data(const ProcessId& from, const RegisterMessage& msg) {
+  if (!from.is_client()) return;  // writers only; servers speak Bracha
+  // The writer's PUT-DATA is the SEND step of the reliable broadcast; the
+  // apply + ACK happen in on_rb_deliver once ECHO/READY complete.
+  bracha_->on_external_send(
+      encode_blob(from, msg.op_id, msg.object, msg.tag, msg.value));
+}
+
+void RbServer::on_rb_deliver(const Bytes& blob) {
+  auto b = decode_blob(blob);
+  if (!b) return;
+
+  const bool added = object_store(b->object).emplace(b->tag, b->value).second;
+
+  RegisterMessage ack;
+  ack.type = MsgType::kAck;
+  ack.op_id = b->op_id;
+  ack.object = b->object;
+  ack.tag = b->tag;
+  reply(b->writer, ack);
+
+  if (added) {
+    RegisterMessage update;
+    update.type = MsgType::kDataUpdate;
+    update.object = b->object;
+    update.tag = b->tag;
+    update.value = b->value;
+    for (const auto& [reader, sub] : subscribers_) {
+      if (sub.second != b->object) continue;
+      update.op_id = sub.first;
+      reply(reader, update);
+    }
+  }
+}
+
+void RbServer::handle_query(const ProcessId& from, const RegisterMessage& msg) {
+  subscribers_[from] = {msg.op_id, msg.object};
+  const auto& store = object_store(msg.object);
+  RegisterMessage resp;
+  resp.type = MsgType::kDataResp;
+  resp.op_id = msg.op_id;
+  resp.object = msg.object;
+  resp.tag = store.rbegin()->first;
+  resp.value = store.rbegin()->second;
+  reply(from, resp);
+}
+
+// --------------------------------------------------------------- RbReader
+
+RbReader::RbReader(ProcessId self, SystemConfig config,
+                   net::Transport* transport, uint32_t object)
+    : self_(self),
+      config_(std::move(config)),
+      transport_(transport),
+      object_(object),
+      responded_(config_.quorum()) {
+  local_ = TaggedValue{Tag::initial(), config_.initial_value};
+}
+
+void RbReader::start_read(Callback callback) {
+  assert(!reading_ && "at most one operation per client");
+  reading_ = true;
+  saw_update_ = false;
+  callback_ = std::move(callback);
+  invoked_at_ = transport_->now();
+  ++op_id_;
+  responded_.reset();
+  max_tag_.clear();
+  vouchers_.clear();
+
+  RegisterMessage query;
+  query.type = MsgType::kQueryData;
+  query.op_id = op_id_;
+  query.object = object_;
+  const Bytes payload = query.encode();
+  for (uint32_t i = 0; i < config_.n; ++i) {
+    transport_->send(self_, ProcessId::server(i), payload);
+  }
+}
+
+void RbReader::on_message(const net::Envelope& env) {
+  if (!reading_ || !env.from.is_server()) return;
+  auto msg = RegisterMessage::parse(env.payload);
+  if (!msg || msg->op_id != op_id_ || msg->object != object_) return;
+  switch (msg->type) {
+    case MsgType::kDataResp:
+      responded_.add(env.from);
+      note_pair(env.from, TaggedValue{msg->tag, std::move(msg->value)});
+      break;
+    case MsgType::kDataUpdate:
+      saw_update_ = true;
+      note_pair(env.from, TaggedValue{msg->tag, std::move(msg->value)});
+      break;
+    default:
+      return;
+  }
+  try_complete();
+}
+
+void RbReader::note_pair(const ProcessId& from, const TaggedValue& pair) {
+  auto [it, inserted] = max_tag_.emplace(from, pair.tag);
+  if (!inserted) it->second = std::max(it->second, pair.tag);
+  vouchers_[pair].insert(from);
+}
+
+void RbReader::try_complete() {
+  if (!responded_.reached()) return;
+
+  // H = (f+1)-th largest per-server newest tag. Robust both ways: at most
+  // f Byzantine tags can sit above it (so H is at most the largest honest
+  // tag and waiting for it terminates), and at least f+1 servers claim a
+  // tag >= H (so one honest server really holds something >= H).
+  std::vector<Tag> tags;
+  tags.reserve(max_tag_.size());
+  for (const auto& [server, tag] : max_tag_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end(), std::greater<>());
+  const Tag h = tags[std::min(tags.size() - 1, config_.f)];
+
+  const TaggedValue* best = nullptr;
+  for (const auto& [pair, voters] : vouchers_) {
+    if (voters.size() >= config_.witness_threshold() && pair.tag >= h) {
+      best = &pair;  // ascending map: last qualifying pair has highest tag
+    }
+  }
+  if (best == nullptr) return;  // keep waiting for DATA-UPDATE pushes
+
+  bool fresh = false;
+  if (best->tag > local_.tag) {
+    local_ = *best;
+    fresh = true;
+  }
+  finish(local_, fresh);
+}
+
+void RbReader::finish(const TaggedValue& chosen, bool fresh) {
+  reading_ = false;
+
+  RegisterMessage done;
+  done.type = MsgType::kReadDone;
+  done.op_id = op_id_;
+  done.object = object_;
+  const Bytes payload = done.encode();
+  for (uint32_t i = 0; i < config_.n; ++i) {
+    transport_->send(self_, ProcessId::server(i), payload);
+  }
+
+  ReadResult result;
+  result.value = chosen.value;
+  result.tag = chosen.tag;
+  result.fresh = fresh;
+  result.invoked_at = invoked_at_;
+  result.completed_at = transport_->now();
+  result.rounds = saw_update_ ? 2 : 1;
+  Callback cb = std::move(callback_);
+  callback_ = nullptr;
+  if (cb) cb(result);
+}
+
+}  // namespace bftreg::registers

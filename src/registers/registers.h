@@ -1,0 +1,29 @@
+// Umbrella header: the public API of the register library.
+//
+// Protocols provided (see DESIGN.md for the paper mapping):
+//   BsrWriter/BsrReader + RegisterServer  -- MWMR replicated safe register,
+//     one-shot reads, n >= 4f+1 (Section III).
+//   BcsrWriter/BcsrReader + RegisterServer -- SWMR erasure-coded safe
+//     register, one-shot reads, n >= 5f+1 (Section IV).
+//   HistoryReader   -- one-shot *regular* reads via full-history responses
+//     (Section III-C, option 1).
+//   TwoRoundReader  -- two-round regular reads (Section III-C, option 2).
+//   RbWriter/RbReader + RbServer -- RB-based baseline, n >= 3f+1
+//     (comparator; Section VI / [15]).
+//   WriteBackReader -- extension: ABD-style write-back upgrades BSR reads
+//     to atomicity at the cost of a second round (consistent with the
+//     semi-fast atomicity impossibility of [13]).
+//   BatchReader -- extension: one-shot multi-get over many objects.
+#pragma once
+
+#include "registers/batch_reader.h"    // IWYU pragma: export
+#include "registers/bcsr.h"            // IWYU pragma: export
+#include "registers/bsr_reader.h"      // IWYU pragma: export
+#include "registers/bsr_writer.h"      // IWYU pragma: export
+#include "registers/config.h"          // IWYU pragma: export
+#include "registers/history_reader.h"  // IWYU pragma: export
+#include "registers/messages.h"        // IWYU pragma: export
+#include "registers/rb_register.h"     // IWYU pragma: export
+#include "registers/server.h"          // IWYU pragma: export
+#include "registers/two_round_reader.h"  // IWYU pragma: export
+#include "registers/writeback_reader.h"  // IWYU pragma: export

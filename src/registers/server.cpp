@@ -1,0 +1,236 @@
+#include "registers/server.h"
+
+#include "common/log.h"
+
+namespace bftreg::registers {
+
+RegisterServer::RegisterServer(ProcessId self, SystemConfig config,
+                               net::Transport* transport, Bytes initial)
+    : self_(self),
+      config_(std::move(config)),
+      transport_(transport),
+      initial_(std::move(initial)) {
+  object_store(0);  // the default register exists from the start
+}
+
+std::map<Tag, Bytes>& RegisterServer::object_store(uint32_t object) {
+  auto it = stores_.find(object);
+  if (it == stores_.end()) {
+    it = stores_.emplace(object, std::map<Tag, Bytes>{}).first;
+    it->second.emplace(Tag::initial(), initial_);
+  }
+  return it->second;
+}
+
+size_t RegisterServer::stored_bytes() const {
+  size_t total = 0;
+  for (const auto& [object, store] : stores_) {
+    for (const auto& [tag, value] : store) total += value.size();
+  }
+  return total;
+}
+
+void RegisterServer::reply(const ProcessId& to, const RegisterMessage& msg) {
+  transport_->send(self_, to, msg.encode());
+}
+
+void RegisterServer::on_message(const net::Envelope& env) {
+  auto msg = RegisterMessage::parse(env.payload);
+  if (!msg) {
+    LOG_DEBUG << to_string(self_) << ": dropping malformed payload from "
+              << to_string(env.from);
+    return;
+  }
+  switch (msg->type) {
+    case MsgType::kQueryTag:
+      handle_query_tag(env.from, *msg);
+      break;
+    case MsgType::kPutData:
+      handle_put_data(env.from, std::move(*msg));
+      break;
+    case MsgType::kQueryData:
+      handle_query_data(env.from, *msg);
+      break;
+    case MsgType::kQueryHistory:
+      handle_query_history(env.from, *msg);
+      break;
+    case MsgType::kQueryTagHistory:
+      handle_query_tag_history(env.from, *msg);
+      break;
+    case MsgType::kQueryDataAt:
+      handle_query_data_at(env.from, *msg);
+      break;
+    case MsgType::kReadDone:
+      handle_read_done(env.from, *msg);
+      break;
+    case MsgType::kQueryDataBatch:
+      handle_query_data_batch(env.from, *msg);
+      break;
+    default:
+      // Response types and RB frames are not for a basic server.
+      break;
+  }
+}
+
+void RegisterServer::handle_query_tag(const ProcessId& from,
+                                      const RegisterMessage& req) {
+  RegisterMessage resp;
+  resp.type = MsgType::kTagResp;
+  resp.op_id = req.op_id;
+  resp.object = req.object;
+  resp.tag = max_tag(req.object);
+  reply(from, resp);
+}
+
+bool RegisterServer::apply_put(uint32_t object, const Tag& tag, Bytes value) {
+  auto& store = object_store(object);
+  bool added = false;
+  switch (config_.store_policy) {
+    case StorePolicy::kMaxOnly:
+      // Fig. 3 line 5: add only if the tag beats everything in L.
+      if (tag > store.rbegin()->first) {
+        store.emplace(tag, std::move(value));
+        added = true;
+      }
+      break;
+    case StorePolicy::kAll:
+      added = store.emplace(tag, std::move(value)).second;
+      break;
+  }
+  if (!added) return false;
+  ++puts_applied_;
+
+  // Optional GC: drop the lowest-tagged entries beyond the budget. The
+  // newest pair always survives, so QUERY-TAG / QUERY-DATA semantics are
+  // untouched; only history-consulting reads feel this.
+  if (config_.max_history > 0) {
+    while (store.size() > config_.max_history) {
+      store.erase(store.begin());
+    }
+  }
+
+  // Wake any readers whose two-round get-data asked for this tag.
+  if (auto it = deferred_.find({object, tag}); it != deferred_.end()) {
+    RegisterMessage resp;
+    resp.type = MsgType::kDataAtResp;
+    resp.object = object;
+    resp.tag = tag;
+    resp.value = store[tag];
+    for (const auto& [reader, op_id] : it->second) {
+      resp.op_id = op_id;
+      reply(reader, resp);
+    }
+    deferred_.erase(it);
+  }
+  return true;
+}
+
+void RegisterServer::handle_put_data(const ProcessId& from, RegisterMessage req) {
+  apply_put(req.object, req.tag, std::move(req.value));
+  // Fig. 3: the ACK is sent regardless of whether the entry was new.
+  RegisterMessage ack;
+  ack.type = MsgType::kAck;
+  ack.op_id = req.op_id;
+  ack.object = req.object;
+  ack.tag = req.tag;
+  reply(from, ack);
+}
+
+void RegisterServer::handle_query_data(const ProcessId& from,
+                                       const RegisterMessage& req) {
+  const auto& store = object_store(req.object);
+  RegisterMessage resp;
+  resp.type = MsgType::kDataResp;
+  resp.op_id = req.op_id;
+  resp.object = req.object;
+  resp.tag = store.rbegin()->first;
+  resp.value = store.rbegin()->second;
+  reply(from, resp);
+}
+
+void RegisterServer::handle_query_history(const ProcessId& from,
+                                          const RegisterMessage& req) {
+  const auto& store = object_store(req.object);
+  RegisterMessage resp;
+  resp.type = MsgType::kHistoryResp;
+  resp.op_id = req.op_id;
+  resp.object = req.object;
+  resp.history.reserve(store.size());
+  for (const auto& [tag, value] : store) {
+    resp.history.push_back(TaggedValue{tag, value});
+  }
+  reply(from, resp);
+}
+
+void RegisterServer::handle_query_tag_history(const ProcessId& from,
+                                              const RegisterMessage& req) {
+  const auto& store = object_store(req.object);
+  RegisterMessage resp;
+  resp.type = MsgType::kTagHistoryResp;
+  resp.op_id = req.op_id;
+  resp.object = req.object;
+  resp.tags.reserve(store.size());
+  for (const auto& [tag, value] : store) resp.tags.push_back(tag);
+  reply(from, resp);
+}
+
+void RegisterServer::handle_query_data_at(const ProcessId& from,
+                                          const RegisterMessage& req) {
+  const auto& store = object_store(req.object);
+  if (auto it = store.find(req.tag); it != store.end()) {
+    RegisterMessage resp;
+    resp.type = MsgType::kDataAtResp;
+    resp.op_id = req.op_id;
+    resp.object = req.object;
+    resp.tag = req.tag;
+    resp.value = it->second;
+    reply(from, resp);
+    return;
+  }
+  // Not known yet: tell the reader so, and defer a real answer until the
+  // corresponding PUT-DATA reaches us (channels are reliable, so unless the
+  // writer crashed mid-multicast it eventually will; see the liveness
+  // discussion in two_round_reader.h).
+  deferred_[{req.object, req.tag}].emplace_back(from, req.op_id);
+  RegisterMessage resp;
+  resp.type = MsgType::kDataAtMissing;
+  resp.op_id = req.op_id;
+  resp.object = req.object;
+  resp.tag = req.tag;
+  reply(from, resp);
+}
+
+void RegisterServer::handle_query_data_batch(const ProcessId& from,
+                                             const RegisterMessage& req) {
+  // Cap the batch: an oversized request must not balloon server state with
+  // lazily created stores (the model's clients are crash-only, but defense
+  // in depth costs nothing).
+  constexpr size_t kMaxBatch = 4096;
+  const size_t count = std::min(req.objects.size(), kMaxBatch);
+
+  RegisterMessage resp;
+  resp.type = MsgType::kDataBatchResp;
+  resp.op_id = req.op_id;
+  resp.objects.assign(req.objects.begin(),
+                      req.objects.begin() + static_cast<long>(count));
+  resp.history.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto& store = object_store(req.objects[i]);
+    resp.history.push_back(TaggedValue{store.rbegin()->first,
+                                       store.rbegin()->second});
+  }
+  reply(from, resp);
+}
+
+void RegisterServer::handle_read_done(const ProcessId& from,
+                                      const RegisterMessage& req) {
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    auto& waiters = it->second;
+    std::erase_if(waiters, [&](const auto& w) {
+      return w.first == from && w.second <= req.op_id;
+    });
+    it = waiters.empty() ? deferred_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace bftreg::registers

@@ -1,0 +1,106 @@
+// Register server: Fig. 3 (BSR) / Fig. 6 (BCSR), plus the responses needed
+// by the Section III-C regularity extensions.
+//
+// The server is value-agnostic: for BSR the stored bytes are full register
+// values, for BCSR they are this server's coded elements; the protocol logic
+// is identical (the paper's Figs. 3 and 6 differ only in what `v` is). It
+// serves the model's whole set of shared variables (Section II-B): every
+// request names an object id, and the server keeps one list L per object,
+// lazily initialized to {(t0, initial)}.
+//
+// Supported requests:
+//   QUERY-TAG           -> TAG-RESP(max tag in L)              (get-tag-resp)
+//   PUT-DATA(t, v)      -> ACK; L grows per StorePolicy        (put-data-resp)
+//   QUERY-DATA          -> DATA-RESP(max pair in L)            (get-data-resp)
+//   QUERY-HISTORY       -> HISTORY-RESP(entire L)      (history regularity fix)
+//   QUERY-TAG-HISTORY   -> TAG-HISTORY-RESP(all tags)     (2R read, phase one)
+//   QUERY-DATA-AT(t)    -> DATA-AT-RESP(t, v) now or deferred until t arrives;
+//                          DATA-AT-MISSING immediately if unknown
+//   READ-DONE           -> drops any deferred queries from that reader
+//   QUERY-DATA-BATCH    -> DATA-BATCH-RESP: the newest pair of every object
+//                          named in the request (extension: one-shot multi-get)
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/transport.h"
+#include "registers/config.h"
+#include "registers/messages.h"
+
+namespace bftreg::registers {
+
+class RegisterServer : public net::IProcess {
+ public:
+  /// `initial` is what this server stores under the distinguished tag t0
+  /// for every object: the register's v0 for BSR, or this server's coded
+  /// element Phi_i(v0) for BCSR.
+  RegisterServer(ProcessId self, SystemConfig config, net::Transport* transport,
+                 Bytes initial);
+
+  void on_message(const net::Envelope& env) override;
+
+  // --- introspection (tests, storage accounting for E4) -------------------
+
+  /// The list L for `object` (creating it if this server has never heard
+  /// of the object -- harmless, matches lazy initialization).
+  const std::map<Tag, Bytes>& store(uint32_t object = 0) {
+    return object_store(object);
+  }
+  Tag max_tag(uint32_t object = 0) {
+    return object_store(object).rbegin()->first;
+  }
+  const Bytes& max_value(uint32_t object = 0) {
+    return object_store(object).rbegin()->second;
+  }
+
+  /// Total payload bytes stored across every object (the paper's
+  /// storage-cost metric).
+  size_t stored_bytes() const;
+
+  size_t objects_known() const { return stores_.size(); }
+  std::vector<uint32_t> object_ids() const {
+    std::vector<uint32_t> out;
+    out.reserve(stores_.size());
+    for (const auto& [object, store] : stores_) out.push_back(object);
+    return out;
+  }
+  uint64_t puts_applied() const { return puts_applied_; }
+
+ protected:
+  /// Inserts (tag, value) according to the store policy; returns true if the
+  /// entry was added. Also satisfies deferred QUERY-DATA-AT readers.
+  /// Virtual so durable servers (storage::PersistentRegisterServer) can
+  /// interpose write-ahead logging.
+  virtual bool apply_put(uint32_t object, const Tag& tag, Bytes value);
+
+  void reply(const ProcessId& to, const RegisterMessage& msg);
+
+  std::map<Tag, Bytes>& object_store(uint32_t object);
+
+  const ProcessId self_;
+  const SystemConfig config_;
+  net::Transport* const transport_;
+
+ private:
+  void handle_query_tag(const ProcessId& from, const RegisterMessage& req);
+  void handle_put_data(const ProcessId& from, RegisterMessage req);
+  void handle_query_data(const ProcessId& from, const RegisterMessage& req);
+  void handle_query_history(const ProcessId& from, const RegisterMessage& req);
+  void handle_query_tag_history(const ProcessId& from, const RegisterMessage& req);
+  void handle_query_data_at(const ProcessId& from, const RegisterMessage& req);
+  void handle_read_done(const ProcessId& from, const RegisterMessage& req);
+  void handle_query_data_batch(const ProcessId& from, const RegisterMessage& req);
+
+  Bytes initial_;
+  /// object id -> the list L of Fig. 3 / Fig. 6.
+  std::map<uint32_t, std::map<Tag, Bytes>> stores_;
+  /// Readers waiting for a tag they asked about that we have not yet seen:
+  /// (object, tag) -> [(reader, op_id)].
+  std::map<std::pair<uint32_t, Tag>, std::vector<std::pair<ProcessId, uint64_t>>>
+      deferred_;
+  uint64_t puts_applied_{0};
+};
+
+}  // namespace bftreg::registers

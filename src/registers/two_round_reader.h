@@ -1,0 +1,76 @@
+// Two-round regular read: second regularity fix of Section III-C.
+//
+// Phase get-tag: QUERY-TAG-HISTORY to all servers; wait for n-f
+//   TAG-HISTORY-RESPs; the candidate tags are those present in at least
+//   f+1 histories (so at least one honest server vouches the tag belongs
+//   to a real write -- a fabricated Byzantine tag can collect at most f).
+//   Choose the largest candidate t*.
+// Phase get-data: QUERY-DATA-AT(t*) to all servers; complete when f+1
+//   servers return the identical pair (t*, v); return v.
+//
+// Liveness note (documented deviation): servers answer QUERY-DATA-AT
+// lazily -- if they have not yet received t*'s PUT-DATA they reply
+// DATA-AT-MISSING and answer again once it arrives (reliable channels
+// guarantee it will, since the writer multicasts PUT-DATA to all n
+// servers). The single schedule this does not cover is a writer crashing
+// *mid-multicast* after reaching f+1 servers but before the message to
+// some honest server was placed in its channel; the paper's own Remark 1
+// identifies exactly this all-or-none gap as the price of dropping
+// reliable broadcast, and defers the full treatment to a technical
+// report. bench_regularity exercises the non-crashing schedules.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "net/transport.h"
+#include "registers/bsr_reader.h"
+#include "registers/config.h"
+#include "registers/messages.h"
+#include "registers/quorum.h"
+
+namespace bftreg::registers {
+
+class TwoRoundReader final : public net::IProcess {
+ public:
+  using Callback = std::function<void(const ReadResult&)>;
+
+  TwoRoundReader(ProcessId self, SystemConfig config, net::Transport* transport,
+                 uint32_t object = 0);
+
+  void start_read(Callback callback);
+  void on_message(const net::Envelope& env) override;
+
+  bool busy() const { return phase_ != Phase::kIdle; }
+  const ProcessId& id() const { return self_; }
+  const Tag& local_tag() const { return local_.tag; }
+
+ private:
+  enum class Phase { kIdle, kGetTag, kGetData };
+
+  void on_tag_history(const ProcessId& from, const RegisterMessage& msg);
+  void on_data_at(const ProcessId& from, const RegisterMessage& msg);
+  void begin_get_data();
+  void finish(bool fresh);
+
+  const ProcessId self_;
+  const SystemConfig config_;
+  net::Transport* const transport_;
+  const uint32_t object_;
+
+  TaggedValue local_;
+
+  Phase phase_{Phase::kIdle};
+  uint64_t op_id_{0};
+  QuorumTracker responded_;
+  /// Phase 1: tag -> distinct servers listing it.
+  std::map<Tag, std::set<ProcessId>> tag_votes_;
+  Tag target_{};
+  /// Phase 2: value -> distinct servers returning (target_, value).
+  std::map<Bytes, std::set<ProcessId>> value_votes_;
+  Callback callback_;
+  TimeNs invoked_at_{0};
+};
+
+}  // namespace bftreg::registers

@@ -1,0 +1,67 @@
+// Write-back reader: BSR upgraded to atomic reads (library extension).
+//
+// The paper stops at safety/regularity because *fast* MWMR atomicity is
+// impossible (Georgiou et al. [13], cited in Section VI) -- but slow
+// atomicity is not. This reader applies the classic ABD write-back idea
+// to BSR: phase one is Fig. 2's witness-verified get-data; phase two
+// writes the chosen (tag, value) pair back to n-f servers before
+// returning. The write-back forces every subsequent read's quorum to
+// intersect it in >= f+1 honest servers, so no later read can return an
+// older write: cross-reader new/old inversion -- the one freedom
+// regularity still allowed (see checker/consistency.h) -- is gone.
+//
+// Costs exactly what the impossibility theorem says it must: the read is
+// two rounds, not one. bench_read_latency and bench_regularity put the
+// price next to what it buys.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "net/transport.h"
+#include "registers/bsr_reader.h"
+#include "registers/config.h"
+#include "registers/messages.h"
+#include "registers/quorum.h"
+
+namespace bftreg::registers {
+
+class WriteBackReader final : public net::IProcess {
+ public:
+  using Callback = std::function<void(const ReadResult&)>;
+
+  WriteBackReader(ProcessId self, SystemConfig config, net::Transport* transport,
+                  uint32_t object = 0);
+
+  void start_read(Callback callback);
+  void on_message(const net::Envelope& env) override;
+
+  bool busy() const { return phase_ != Phase::kIdle; }
+  const ProcessId& id() const { return self_; }
+  const Tag& local_tag() const { return local_.tag; }
+
+ private:
+  enum class Phase { kIdle, kGetData, kWriteBack };
+
+  void on_data_resp(const ProcessId& from, const RegisterMessage& msg);
+  void on_ack(const ProcessId& from, const RegisterMessage& msg);
+  void begin_write_back();
+  void finish(bool fresh);
+
+  const ProcessId self_;
+  const SystemConfig config_;
+  net::Transport* const transport_;
+  const uint32_t object_;
+
+  TaggedValue local_;
+
+  Phase phase_{Phase::kIdle};
+  uint64_t op_id_{0};
+  QuorumTracker responded_;
+  std::map<ProcessId, TaggedValue> responses_;
+  bool fresh_{false};
+  Callback callback_;
+  TimeNs invoked_at_{0};
+};
+
+}  // namespace bftreg::registers

@@ -1,0 +1,161 @@
+#include "runtime/thread_network.h"
+
+#include <cassert>
+#include <future>
+
+#include "common/log.h"
+
+namespace bftreg::runtime {
+
+ThreadNetwork::ThreadNetwork(RuntimeConfig config)
+    : auth_(crypto::KeyRegistry(config.master_secret)),
+      delay_(std::move(config.delay)),
+      rng_(config.seed),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+ThreadNetwork::~ThreadNetwork() { stop(); }
+
+void ThreadNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
+  assert(!running_.load());
+  auto box = std::make_unique<Mailbox>();
+  box->process = process;
+  boxes_[pid] = std::move(box);
+}
+
+void ThreadNetwork::start() {
+  assert(!running_.load());
+  running_.store(true);
+  sched_thread_ = std::thread([this] { scheduler_loop(); });
+  for (auto& [pid, box] : boxes_) {
+    Mailbox* b = box.get();
+    b->thread = std::thread([this, b] { mailbox_loop(b); });
+    enqueue(b, [b] { b->process->on_start(); });
+  }
+}
+
+void ThreadNetwork::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    sched_cv_.notify_all();
+  }
+  if (sched_thread_.joinable()) sched_thread_.join();
+  for (auto& [pid, box] : boxes_) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->cv.notify_all();
+    }
+    if (box->thread.joinable()) box->thread.join();
+  }
+}
+
+void ThreadNetwork::mark_crashed(const ProcessId& pid) {
+  if (Mailbox* box = find(pid)) box->crashed.store(true);
+}
+
+TimeNs ThreadNetwork::now() const {
+  return static_cast<TimeNs>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - epoch_)
+                                 .count());
+}
+
+ThreadNetwork::Mailbox* ThreadNetwork::find(const ProcessId& pid) {
+  auto it = boxes_.find(pid);
+  return it == boxes_.end() ? nullptr : it->second.get();
+}
+
+void ThreadNetwork::enqueue(Mailbox* box, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(box->mu);
+  box->items.push_back(std::move(fn));
+  box->cv.notify_one();
+}
+
+void ThreadNetwork::mailbox_loop(Mailbox* box) {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(box->mu);
+      box->cv.wait(lock, [&] { return !box->items.empty() || !running_.load(); });
+      if (box->items.empty()) return;  // stopped and drained
+      fn = std::move(box->items.front());
+      box->items.pop_front();
+    }
+    if (!box->crashed.load()) fn();
+  }
+}
+
+void ThreadNetwork::send(const ProcessId& from, const ProcessId& to, Bytes payload) {
+  if (Mailbox* src = find(from); src != nullptr && src->crashed.load()) return;
+  net::Envelope env;
+  env.from = from;
+  env.to = to;
+  env.seq = next_seq_.fetch_add(1);
+  env.sent_at = now();
+  env.mac = auth_.seal(from, to, payload);
+  env.payload = std::move(payload);
+  metrics_.on_send(env.payload.size());
+
+  TimeNs d = 0;
+  if (delay_) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    d = delay_->delay(env, rng_);
+  }
+  if (d == 0) {
+    route(std::move(env));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  sched_queue_.push(Timed{now() + d, env.seq, std::move(env)});
+  sched_cv_.notify_one();
+}
+
+void ThreadNetwork::route(net::Envelope env) {
+  Mailbox* box = find(env.to);
+  if (box == nullptr || box->crashed.load()) return;
+  if (!auth_.verify(env.from, env.to, env.payload, env.mac)) {
+    metrics_.on_auth_failure();
+    return;
+  }
+  metrics_.on_deliver();
+  net::IProcess* proc = box->process;
+  enqueue(box, [proc, e = std::move(env)] { proc->on_message(e); });
+}
+
+void ThreadNetwork::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  for (;;) {
+    if (!running_.load() && sched_queue_.empty()) return;
+    if (sched_queue_.empty()) {
+      sched_cv_.wait(lock, [&] { return !sched_queue_.empty() || !running_.load(); });
+      continue;
+    }
+    const TimeNs due = sched_queue_.top().due;
+    const TimeNs t = now();
+    if (t < due) {
+      sched_cv_.wait_for(lock, std::chrono::nanoseconds(due - t));
+      continue;
+    }
+    net::Envelope env = std::move(const_cast<Timed&>(sched_queue_.top()).env);
+    sched_queue_.pop();
+    lock.unlock();
+    route(std::move(env));
+    lock.lock();
+  }
+}
+
+void ThreadNetwork::post(const ProcessId& pid, std::function<void()> fn) {
+  if (Mailbox* box = find(pid)) enqueue(box, std::move(fn));
+}
+
+void BlockingInvoker::run(
+    const ProcessId& pid,
+    const std::function<void(std::function<void()> done)>& start_fn) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> fut = promise->get_future();
+  net_.post(pid, [start_fn, promise] {
+    start_fn([promise] { promise->set_value(); });
+  });
+  fut.wait();
+}
+
+}  // namespace bftreg::runtime

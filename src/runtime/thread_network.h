@@ -1,0 +1,121 @@
+// Real-time, thread-per-process transport.
+//
+// The same protocol state machines that run under the deterministic
+// simulator run here on actual OS threads with wall-clock delays: each
+// process owns a mailbox thread that serializes its handlers (so protocol
+// code stays single-threaded), and a scheduler thread applies the configured
+// delay model before routing envelopes to destination mailboxes. Used by
+// the throughput/latency benches (E3) and the examples.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/auth.h"
+#include "net/delay.h"
+#include "net/transport.h"
+
+namespace bftreg::runtime {
+
+struct RuntimeConfig {
+  uint64_t seed{1};
+  uint64_t master_secret{0x5eC4e7B17e5eCBA5ULL};
+  /// Artificial per-message delay; null means deliver immediately
+  /// (still asynchronously, through the destination mailbox).
+  std::unique_ptr<net::DelayModel> delay;
+};
+
+class ThreadNetwork final : public net::Transport {
+ public:
+  explicit ThreadNetwork(RuntimeConfig config);
+  ~ThreadNetwork() override;
+
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  /// Registers a process before start(); caller retains ownership.
+  void add_process(const ProcessId& pid, net::IProcess* process);
+
+  /// Spawns mailbox threads and invokes on_start() on each of them.
+  void start();
+
+  /// Drains mailboxes and joins all threads. Idempotent.
+  void stop();
+
+  void mark_crashed(const ProcessId& pid);
+
+  // --- net::Transport -----------------------------------------------------
+  void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
+  TimeNs now() const override;
+  void post(const ProcessId& pid, std::function<void()> fn) override;
+  net::NetworkMetrics& metrics() override { return metrics_; }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> items;
+    std::thread thread;
+    net::IProcess* process{nullptr};
+    std::atomic<bool> crashed{false};
+  };
+
+  struct Timed {
+    TimeNs due;
+    uint64_t seq;
+    net::Envelope env;
+    bool operator>(const Timed& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  void mailbox_loop(Mailbox* box);
+  void scheduler_loop();
+  void enqueue(Mailbox* box, std::function<void()> fn);
+  void route(net::Envelope env);
+  Mailbox* find(const ProcessId& pid);
+
+  crypto::Authenticator auth_;
+  std::unique_ptr<net::DelayModel> delay_;
+  net::NetworkMetrics metrics_;
+  std::unordered_map<ProcessId, std::unique_ptr<Mailbox>> boxes_;
+
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::priority_queue<Timed, std::vector<Timed>, std::greater<>> sched_queue_;
+  std::thread sched_thread_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<bool> running_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Runs a client operation on its mailbox thread and blocks the calling
+/// thread until the protocol's completion callback fires. `start_fn`
+/// receives a `done` closure it must arrange to be called exactly once.
+class BlockingInvoker {
+ public:
+  explicit BlockingInvoker(ThreadNetwork& net) : net_(net) {}
+
+  void run(const ProcessId& pid,
+           const std::function<void(std::function<void()> done)>& start_fn);
+
+ private:
+  ThreadNetwork& net_;
+};
+
+}  // namespace bftreg::runtime

@@ -1,0 +1,293 @@
+#include "socknet/tcp_network.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+
+#include "common/log.h"
+#include "common/serde.h"
+
+namespace bftreg::socknet {
+
+namespace {
+
+/// Reads exactly `len` bytes; false on EOF/error.
+bool read_exact(int fd, uint8_t* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::recv(fd, buf + got, len - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const uint8_t* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t w = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+constexpr size_t kMaxFrame = 64 * 1024 * 1024;  // sanity cap: 64 MiB
+
+}  // namespace
+
+struct TcpNetwork::Endpoint {
+  ProcessId pid;
+  net::IProcess* process{nullptr};
+  int listen_fd{-1};
+  uint16_t port{0};
+
+  std::thread accept_thread;
+  std::vector<std::thread> conn_threads;
+  std::vector<int> conn_fds;  // accepted sockets, for shutdown on stop
+  std::mutex conn_mu;
+
+  // Mailbox serializing handler execution (same discipline as the other
+  // runtimes: protocol code is single-threaded per process).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> items;
+  std::thread mailbox_thread;
+
+  // Cached outbound connections: destination -> fd.
+  std::mutex out_mu;
+  std::map<ProcessId, int> out_fds;
+};
+
+TcpNetwork::TcpNetwork(TcpConfig config)
+    : auth_(crypto::KeyRegistry(config.master_secret)),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TcpNetwork::~TcpNetwork() { stop(); }
+
+TimeNs TcpNetwork::now() const {
+  return static_cast<TimeNs>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - epoch_)
+                                 .count());
+}
+
+TcpNetwork::Endpoint* TcpNetwork::find(const ProcessId& pid) {
+  auto it = endpoints_.find(pid);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+uint16_t TcpNetwork::port_of(const ProcessId& pid) const {
+  auto it = endpoints_.find(pid);
+  return it == endpoints_.end() ? 0 : it->second->port;
+}
+
+void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
+  assert(!running_.load());
+  auto ep = std::make_unique<Endpoint>();
+  ep->pid = pid;
+  ep->process = process;
+
+  ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  assert(ep->listen_fd >= 0);
+  int one = 1;
+  ::setsockopt(ep->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::inet_addr(config_.host);
+  addr.sin_port = 0;  // ephemeral
+  [[maybe_unused]] int rc =
+      ::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  assert(rc == 0);
+  rc = ::listen(ep->listen_fd, 64);
+  assert(rc == 0);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(ep->listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  ep->port = ntohs(bound.sin_port);
+
+  endpoints_[pid] = std::move(ep);
+}
+
+void TcpNetwork::start() {
+  assert(!running_.exchange(true));
+  for (auto& [pid, ep] : endpoints_) {
+    Endpoint* e = ep.get();
+    e->mailbox_thread = std::thread([this, e] { mailbox_loop(e); });
+    e->accept_thread = std::thread([this, e] { accept_loop(e); });
+    enqueue(e, [e] { e->process->on_start(); });
+  }
+}
+
+void TcpNetwork::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& [pid, ep] : endpoints_) {
+    // Shut the listener; accept() wakes with an error and the loop exits.
+    if (ep->listen_fd >= 0) {
+      ::shutdown(ep->listen_fd, SHUT_RDWR);
+      ::close(ep->listen_fd);
+      ep->listen_fd = -1;
+    }
+    {
+      std::lock_guard<std::mutex> lock(ep->out_mu);
+      for (auto& [to, fd] : ep->out_fds) ::close(fd);
+      ep->out_fds.clear();
+    }
+    // Wake connection threads blocked in recv().
+    {
+      std::lock_guard<std::mutex> lock(ep->conn_mu);
+      for (int fd : ep->conn_fds) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (auto& [pid, ep] : endpoints_) {
+    if (ep->accept_thread.joinable()) ep->accept_thread.join();
+    for (auto& t : ep->conn_threads) {
+      if (t.joinable()) t.join();
+    }
+    {
+      std::lock_guard<std::mutex> lock(ep->mu);
+      ep->cv.notify_all();
+    }
+    if (ep->mailbox_thread.joinable()) ep->mailbox_thread.join();
+  }
+}
+
+void TcpNetwork::enqueue(Endpoint* ep, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(ep->mu);
+  ep->items.push_back(std::move(fn));
+  ep->cv.notify_one();
+}
+
+void TcpNetwork::mailbox_loop(Endpoint* ep) {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(ep->mu);
+      ep->cv.wait(lock, [&] { return !ep->items.empty() || !running_.load(); });
+      if (ep->items.empty()) return;
+      fn = std::move(ep->items.front());
+      ep->items.pop_front();
+    }
+    fn();
+  }
+}
+
+void TcpNetwork::accept_loop(Endpoint* ep) {
+  for (;;) {
+    const int fd = ::accept(ep->listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed
+    std::lock_guard<std::mutex> lock(ep->conn_mu);
+    ep->conn_fds.push_back(fd);
+    ep->conn_threads.emplace_back([this, ep, fd] { connection_loop(ep, fd); });
+  }
+}
+
+void TcpNetwork::connection_loop(Endpoint* ep, int fd) {
+  // Frames: [u32 len][from(5)][to(5)][mac u64][payload].
+  for (;;) {
+    uint8_t len_buf[4];
+    if (!read_exact(fd, len_buf, 4)) break;
+    Deserializer lend(len_buf, 4);
+    const uint32_t frame_len = lend.get_u32();
+    if (frame_len < 5 + 5 + 8 || frame_len > kMaxFrame) break;
+
+    Bytes frame(frame_len);
+    if (!read_exact(fd, frame.data(), frame_len)) break;
+
+    Deserializer d(frame);
+    const ProcessId from = d.get_process_id();
+    const ProcessId to = d.get_process_id();
+    const uint64_t mac = d.get_u64();
+    if (!d.ok() || !(to == ep->pid)) break;  // misrouted or corrupt
+    Bytes payload(frame.begin() + static_cast<long>(frame_len - d.remaining()),
+                  frame.end());
+
+    if (!auth_.verify(from, to, payload, mac)) {
+      metrics_.on_auth_failure();
+      continue;  // drop the forged frame, keep the connection
+    }
+    metrics_.on_deliver();
+    net::Envelope env;
+    env.from = from;
+    env.to = to;
+    env.mac = mac;
+    env.payload = std::move(payload);
+    net::IProcess* proc = ep->process;
+    enqueue(ep, [proc, e = std::move(env)] { proc->on_message(e); });
+  }
+  ::close(fd);
+}
+
+Bytes TcpNetwork::seal_frame(const crypto::Authenticator& auth,
+                             const ProcessId& from, const ProcessId& to,
+                             const Bytes& payload) {
+  Serializer s;
+  const uint32_t frame_len = static_cast<uint32_t>(5 + 5 + 8 + payload.size());
+  s.put_u32(frame_len);
+  s.put_process_id(from);
+  s.put_process_id(to);
+  s.put_u64(auth.seal(from, to, payload));
+  Bytes out = s.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+int TcpNetwork::connect_to(const ProcessId& to) {
+  Endpoint* dst = find(to);
+  if (dst == nullptr) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::inet_addr(config_.host);
+  addr.sin_port = htons(dst->port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpNetwork::send(const ProcessId& from, const ProcessId& to, Bytes payload) {
+  if (!running_.load()) return;
+  Endpoint* src = find(from);
+  if (src == nullptr) return;
+
+  const Bytes frame = seal_frame(auth_, from, to, payload);
+  metrics_.on_send(payload.size());
+
+  std::lock_guard<std::mutex> lock(src->out_mu);
+  auto it = src->out_fds.find(to);
+  if (it == src->out_fds.end()) {
+    const int fd = connect_to(to);
+    if (fd < 0) return;  // destination gone (e.g. stopping)
+    it = src->out_fds.emplace(to, fd).first;
+  }
+  if (!write_all(it->second, frame.data(), frame.size())) {
+    ::close(it->second);
+    src->out_fds.erase(it);
+    // One reconnect attempt; drop on repeated failure (TCP gives us
+    // reliable FIFO while up; process failure is a crash in the model).
+    const int fd = connect_to(to);
+    if (fd < 0) return;
+    src->out_fds.emplace(to, fd);
+    write_all(fd, frame.data(), frame.size());
+  }
+}
+
+void TcpNetwork::post(const ProcessId& pid, std::function<void()> fn) {
+  if (Endpoint* ep = find(pid)) enqueue(ep, std::move(fn));
+}
+
+}  // namespace bftreg::socknet

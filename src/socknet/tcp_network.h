@@ -1,0 +1,88 @@
+// TCP loopback transport: the protocols over a real network stack.
+//
+// Third implementation of net::Transport (after the deterministic
+// simulator and the in-memory thread runtime): every process gets a
+// listening TCP socket on 127.0.0.1; sends open (and cache) real
+// connections and ship length-prefixed, MAC-sealed frames through the
+// kernel. Nothing protocol-level changes -- the same state machines run
+// unmodified -- which is the point: the paper's algorithms assume only
+// reliable authenticated point-to-point channels, and TCP + the MAC layer
+// provides exactly that.
+//
+// Scope: single-host loopback (the offline build environment has no
+// external network). The wire format is position-independent, so pointing
+// the address book at remote hosts is a config change, not a code change.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/auth.h"
+#include "net/transport.h"
+
+namespace bftreg::socknet {
+
+struct TcpConfig {
+  uint64_t master_secret{0x5eC4e7B17e5eCBA5ULL};
+  /// Listening address (loopback only in this build).
+  const char* host{"127.0.0.1"};
+};
+
+class TcpNetwork final : public net::Transport {
+ public:
+  explicit TcpNetwork(TcpConfig config);
+  ~TcpNetwork() override;
+
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  /// Registers a process: binds a listening socket on an ephemeral port
+  /// and records it in the address book. Call before start().
+  void add_process(const ProcessId& pid, net::IProcess* process);
+
+  /// Spawns the accept/receive threads and delivers on_start() to every
+  /// process (on its mailbox thread, like the other runtimes).
+  void start();
+
+  /// Closes sockets and joins all threads. Idempotent.
+  void stop();
+
+  /// The port a process listens on (for logging / external tooling).
+  uint16_t port_of(const ProcessId& pid) const;
+
+  // --- net::Transport -----------------------------------------------------
+  void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
+  TimeNs now() const override;
+  void post(const ProcessId& pid, std::function<void()> fn) override;
+  net::NetworkMetrics& metrics() override { return metrics_; }
+
+ private:
+  struct Endpoint;
+
+  void accept_loop(Endpoint* ep);
+  void connection_loop(Endpoint* ep, int fd);
+  void mailbox_loop(Endpoint* ep);
+  void enqueue(Endpoint* ep, std::function<void()> fn);
+  int connect_to(const ProcessId& to);
+  Endpoint* find(const ProcessId& pid);
+
+  /// Frame: [u32 length][from pid (5)][to pid (5)][u64 mac][payload].
+  static Bytes seal_frame(const crypto::Authenticator& auth, const ProcessId& from,
+                          const ProcessId& to, const Bytes& payload);
+
+  crypto::Authenticator auth_;
+  TcpConfig config_;
+  net::NetworkMetrics metrics_;
+  std::map<ProcessId, std::unique_ptr<Endpoint>> endpoints_;
+  std::atomic<bool> running_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace bftreg::socknet

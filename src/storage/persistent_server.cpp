@@ -1,0 +1,46 @@
+#include "storage/persistent_server.h"
+
+namespace bftreg::storage {
+
+PersistentRegisterServer::PersistentRegisterServer(ProcessId self,
+                                                   registers::SystemConfig config,
+                                                   net::Transport* transport,
+                                                   Bytes initial,
+                                                   std::string wal_path)
+    : RegisterServer(self, std::move(config), transport, std::move(initial)),
+      wal_(std::move(wal_path)) {
+  const ReplayResult replayed = WriteAheadLog::replay(wal_.path());
+  truncated_ = replayed.truncated_bytes;
+  recovering_ = true;
+  for (const WalRecord& r : replayed.records) {
+    if (RegisterServer::apply_put(r.object, r.tag, r.value)) ++recovered_;
+  }
+  recovering_ = false;
+}
+
+bool PersistentRegisterServer::apply_put(uint32_t object, const Tag& tag,
+                                         Bytes value) {
+  // Probe-then-log-then-apply would double the map lookups; instead apply
+  // first and log on success. Both orders are equivalent here: the ACK is
+  // only sent after this handler returns, so a crash mid-handler loses the
+  // ACK along with (at worst) the log record.
+  Bytes copy = value;  // keep bytes for the log; base consumes `value`
+  const bool added = RegisterServer::apply_put(object, tag, std::move(value));
+  if (added && !recovering_) {
+    wal_.append(WalRecord{object, tag, std::move(copy)});
+  }
+  return added;
+}
+
+void PersistentRegisterServer::compact() {
+  std::vector<WalRecord> live;
+  for (const uint32_t object : object_ids()) {
+    for (const auto& [tag, value] : store(object)) {
+      if (tag.is_initial()) continue;  // seeded, not logged
+      live.push_back(WalRecord{object, tag, value});
+    }
+  }
+  wal_.compact(live);
+}
+
+}  // namespace bftreg::storage

@@ -1,0 +1,50 @@
+// Durable register server: RegisterServer + write-ahead logging.
+//
+// Applies the standard WAL discipline to Fig. 3/6's put-data-resp: every
+// entry added to a list L is first appended to the log, and a restarted
+// server replays the log before serving. Why this is safe in the paper's
+// model: a recovered server resumes from a state it genuinely held, so to
+// every client it is indistinguishable from a server that was merely slow
+// -- a behaviour all the protocols already tolerate. (A server that lost
+// its state and rejoined blank would NOT be safe: it could un-witness a
+// value that a completed write counted on; see
+// storage_test.cpp/RecoveryKeepsWitnessGuarantee.)
+#pragma once
+
+#include <string>
+
+#include "registers/server.h"
+#include "storage/wal.h"
+
+namespace bftreg::storage {
+
+class PersistentRegisterServer final : public registers::RegisterServer {
+ public:
+  /// Opens (or creates) the WAL at `wal_path` and replays it into the
+  /// in-memory state before the server handles any message.
+  PersistentRegisterServer(ProcessId self, registers::SystemConfig config,
+                           net::Transport* transport, Bytes initial,
+                           std::string wal_path);
+
+  /// Records replayed during construction (0 for a fresh server).
+  size_t recovered_records() const { return recovered_; }
+  /// Tail bytes discarded during replay (torn final record).
+  size_t recovered_truncated_bytes() const { return truncated_; }
+
+  /// Rewrites the WAL to the current live state (drops superseded and
+  /// duplicate entries).
+  void compact();
+
+  const WriteAheadLog& wal() const { return wal_; }
+
+ protected:
+  bool apply_put(uint32_t object, const Tag& tag, Bytes value) override;
+
+ private:
+  WriteAheadLog wal_;
+  bool recovering_{false};
+  size_t recovered_{0};
+  size_t truncated_{0};
+};
+
+}  // namespace bftreg::storage

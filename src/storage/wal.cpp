@@ -1,0 +1,124 @@
+#include "storage/wal.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/serde.h"
+
+namespace bftreg::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xB5F7106Au;
+
+uint32_t record_crc(const Bytes& body) {
+  return static_cast<uint32_t>(fnv1a64(body.data(), body.size()) & 0xffffffffu);
+}
+
+/// Serialized record body (everything the crc covers).
+Bytes encode_body(const WalRecord& r) {
+  Serializer s;
+  s.put_u32(r.object);
+  s.put_tag(r.tag);
+  s.put_bytes(r.value);
+  return s.take();
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
+  open_for_append();
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void WriteAheadLog::open_for_append() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  assert(file_ != nullptr && "cannot open WAL for append");
+}
+
+void WriteAheadLog::append(const WalRecord& record) {
+  const Bytes body = encode_body(record);
+  Serializer s;
+  s.put_u32(kMagic);
+  Bytes head = s.take();
+  Serializer tail;
+  tail.put_u32(record_crc(body));
+  const Bytes crc = tail.buffer();
+
+  std::fwrite(head.data(), 1, head.size(), file_);
+  std::fwrite(body.data(), 1, body.size(), file_);
+  std::fwrite(crc.data(), 1, crc.size(), file_);
+  std::fflush(file_);
+  bytes_written_ += head.size() + body.size() + crc.size();
+}
+
+void WriteAheadLog::compact(const std::vector<WalRecord>& records) {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    assert(out != nullptr);
+    for (const WalRecord& r : records) {
+      const Bytes body = encode_body(r);
+      Serializer s;
+      s.put_u32(kMagic);
+      const Bytes head = s.buffer();
+      Serializer t;
+      t.put_u32(record_crc(body));
+      const Bytes crc = t.buffer();
+      std::fwrite(head.data(), 1, head.size(), out);
+      std::fwrite(body.data(), 1, body.size(), out);
+      std::fwrite(crc.data(), 1, crc.size(), out);
+    }
+    std::fclose(out);
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  [[maybe_unused]] const int rc = std::rename(tmp.c_str(), path_.c_str());
+  assert(rc == 0);
+  open_for_append();
+}
+
+ReplayResult WriteAheadLog::replay(const std::string& path) {
+  ReplayResult out;
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return out;  // no log yet: empty state
+
+  // Slurp the file; WALs here are test/deployment scale, not TB-scale.
+  std::fseek(in, 0, SEEK_END);
+  const long size = std::ftell(in);
+  std::fseek(in, 0, SEEK_SET);
+  Bytes data(static_cast<size_t>(size));
+  if (size > 0 && std::fread(data.data(), 1, data.size(), in) != data.size()) {
+    std::fclose(in);
+    out.truncated_bytes = data.size();
+    return out;
+  }
+  std::fclose(in);
+
+  size_t pos = 0;
+  while (pos < data.size()) {
+    Deserializer d(data.data() + pos, data.size() - pos);
+    const uint32_t magic = d.get_u32();
+    WalRecord r;
+    r.object = d.get_u32();
+    r.tag = d.get_tag();
+    r.value = d.get_bytes();
+    const size_t body_len = 4 + 13 + 4 + r.value.size();
+    const uint32_t crc = d.get_u32();
+    if (!d.ok() || magic != kMagic) break;
+
+    // Re-derive the crc over the body bytes as they appeared on disk.
+    const uint32_t expect = static_cast<uint32_t>(
+        fnv1a64(data.data() + pos + 4, body_len) & 0xffffffffu);
+    if (crc != expect) break;
+
+    out.records.push_back(std::move(r));
+    pos += 4 + body_len + 4;
+  }
+  out.truncated_bytes = data.size() - pos;
+  return out;
+}
+
+}  // namespace bftreg::storage

@@ -1,0 +1,73 @@
+// Write-ahead log for durable register servers.
+//
+// The paper's model stops at fail-stop servers: a crashed server never
+// returns. Real deployments restart processes, and a restarted server may
+// rejoin safely *iff* it comes back with a state it legitimately held
+// before the crash -- then it is indistinguishable from a slow-but-honest
+// server, which every protocol here already tolerates. The WAL provides
+// exactly that: PUT-DATA applications are logged before they are
+// acknowledged, and recovery replays the log.
+//
+// Record format (little-endian):
+//   [u32 magic][u32 object][tag: u64 num + role u8 + u32 idx]
+//   [u32 value_len][value bytes][u32 crc]
+// where crc covers everything from `object` through the value. Replay
+// stops at the first malformed/torn record and reports how many bytes of
+// tail were discarded -- the standard torn-write discipline.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftreg::storage {
+
+struct WalRecord {
+  uint32_t object{0};
+  Tag tag{};
+  Bytes value;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+struct ReplayResult {
+  std::vector<WalRecord> records;
+  /// Bytes of unparseable tail discarded (0 on a clean log).
+  size_t truncated_bytes{0};
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  explicit WriteAheadLog(std::string path);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and flushes it to the OS (no fsync: the threat
+  /// model here is process restart, not power loss).
+  void append(const WalRecord& record);
+
+  /// Rewrites the log to contain exactly `records` (compaction), via
+  /// write-to-temp + atomic rename.
+  void compact(const std::vector<WalRecord>& records);
+
+  size_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+  /// Replays a log file; missing file yields an empty result.
+  static ReplayResult replay(const std::string& path);
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  std::FILE* file_{nullptr};
+  size_t bytes_written_{0};
+};
+
+}  // namespace bftreg::storage

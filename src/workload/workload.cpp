@@ -1,0 +1,38 @@
+#include "workload/workload.h"
+
+#include <cassert>
+
+namespace bftreg::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Op WorkloadGenerator::next() {
+  assert(!done());
+  ++emitted_;
+  Op op;
+  op.is_read = rng_.bernoulli(options_.read_ratio);
+  if (!op.is_read) {
+    op.value = make_value(options_.seed, write_counter_++, options_.value_size);
+  }
+  return op;
+}
+
+std::vector<Op> WorkloadGenerator::all() {
+  std::vector<Op> ops;
+  ops.reserve(remaining());
+  while (!done()) ops.push_back(next());
+  return ops;
+}
+
+Bytes make_value(uint64_t seed, uint64_t index, size_t size) {
+  Bytes out(size);
+  uint64_t h = fnv1a64(&index, sizeof(index), seed ^ 0x77777777u);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>(h >> ((i % 8) * 8));
+    if (i % 8 == 7) h = fnv1a64(&h, sizeof(h));
+  }
+  return out;
+}
+
+}  // namespace bftreg::workload

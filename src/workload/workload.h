@@ -1,0 +1,65 @@
+// Workload generation for the mixed-operation experiments (E3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace bftreg::workload {
+
+struct WorkloadOptions {
+  /// Fraction of operations that are reads. The paper motivates semi-fast
+  /// registers with Facebook's measured 99.8% read share (Section I,
+  /// footnote 1).
+  double read_ratio{0.9};
+  size_t num_ops{1000};
+  size_t value_size{64};
+  uint64_t seed{1};
+
+  /// The TAO-style mix from the paper's introduction.
+  static WorkloadOptions facebook_tao(size_t num_ops, size_t value_size) {
+    WorkloadOptions o;
+    o.read_ratio = 0.998;
+    o.num_ops = num_ops;
+    o.value_size = value_size;
+    return o;
+  }
+};
+
+struct Op {
+  bool is_read{true};
+  Bytes value;  // payload for writes; empty for reads
+};
+
+/// Deterministic stream of operations.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options);
+
+  bool done() const { return emitted_ >= options_.num_ops; }
+  size_t remaining() const { return options_.num_ops - emitted_; }
+
+  /// Next operation; precondition !done().
+  Op next();
+
+  /// Entire stream at once.
+  std::vector<Op> all();
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  WorkloadOptions options_;
+  Rng rng_;
+  size_t emitted_{0};
+  uint64_t write_counter_{0};
+};
+
+/// A deterministic, self-describing value: `size` bytes derived from the
+/// (seed, index) pair, so tests can verify a read returned the bytes of a
+/// specific write.
+Bytes make_value(uint64_t seed, uint64_t index, size_t size);
+
+}  // namespace bftreg::workload

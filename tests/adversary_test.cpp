@@ -1,0 +1,169 @@
+// Direct unit tests for each Byzantine strategy: what exactly does each
+// adversary send back? (The integration suites verify protocols *survive*
+// them; these verify the strategies behave as documented, so a test
+// failure there can be attributed correctly.)
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/byzantine_server.h"
+#include "sim/simulator.h"
+
+namespace bftreg::adversary {
+namespace {
+
+using registers::MsgType;
+using registers::RegisterMessage;
+
+class Probe final : public net::IProcess {
+ public:
+  void on_message(const net::Envelope& env) override {
+    raw.push_back(env.payload);
+    if (auto m = RegisterMessage::parse(env.payload)) parsed.push_back(*m);
+  }
+  std::vector<Bytes> raw;
+  std::vector<RegisterMessage> parsed;
+};
+
+class AdversaryFixture : public ::testing::Test {
+ protected:
+  AdversaryFixture() : sim_(sim::SimConfig::with_fixed_delay(1, 10)) {
+    sim_.add_process(client_, &probe_);
+  }
+
+  ByzantineServer* make(StrategyKind kind, uint64_t seed = 7) {
+    ServerContext ctx;
+    ctx.self = ProcessId::server(0);
+    ctx.config.n = 5;
+    ctx.config.f = 1;
+    ctx.transport = &sim_;
+    ctx.initial = Bytes{'i', 'n', 'i', 't'};
+    ctx.rng = Rng(seed);
+    server_ = std::make_unique<ByzantineServer>(std::move(ctx),
+                                                make_strategy(kind, seed));
+    sim_.add_process(ProcessId::server(0), server_.get());
+    return server_.get();
+  }
+
+  void send(MsgType type, uint64_t op = 1, Tag tag = {}, Bytes value = {}) {
+    RegisterMessage m;
+    m.type = type;
+    m.op_id = op;
+    m.tag = tag;
+    m.value = std::move(value);
+    sim_.send(client_, ProcessId::server(0), m.encode());
+    sim_.run_until_idle();
+  }
+
+  sim::Simulator sim_;
+  ProcessId client_ = ProcessId::reader(0);
+  Probe probe_;
+  std::unique_ptr<ByzantineServer> server_;
+};
+
+TEST_F(AdversaryFixture, SilentNeverResponds) {
+  make(StrategyKind::kSilent);
+  send(MsgType::kQueryTag);
+  send(MsgType::kQueryData);
+  send(MsgType::kPutData, 2, Tag{1, ProcessId::writer(0)}, Bytes{'x'});
+  EXPECT_TRUE(probe_.raw.empty());
+}
+
+TEST_F(AdversaryFixture, StaleAlwaysAnswersInitialState) {
+  make(StrategyKind::kStale);
+  send(MsgType::kPutData, 1, Tag{9, ProcessId::writer(0)}, Bytes{'n', 'e', 'w'});
+  send(MsgType::kQueryData, 2);
+  ASSERT_EQ(probe_.parsed.size(), 2u);
+  EXPECT_EQ(probe_.parsed[0].type, MsgType::kAck);  // acks without storing
+  EXPECT_EQ(probe_.parsed[1].type, MsgType::kDataResp);
+  EXPECT_EQ(probe_.parsed[1].tag, Tag::initial());
+  EXPECT_EQ(probe_.parsed[1].value, (Bytes{'i', 'n', 'i', 't'}));
+}
+
+TEST_F(AdversaryFixture, FabricateInventsHugeTags) {
+  make(StrategyKind::kFabricate);
+  send(MsgType::kQueryTag);
+  send(MsgType::kQueryData, 2);
+  ASSERT_EQ(probe_.parsed.size(), 2u);
+  EXPECT_GE(probe_.parsed[0].tag.num, 1'000'000'000u);
+  EXPECT_GE(probe_.parsed[1].tag.num, 1'000'000'000u);
+  EXPECT_FALSE(probe_.parsed[1].value.empty());
+}
+
+TEST_F(AdversaryFixture, ColludersWithSameSeedMatchExactly) {
+  // Two colluders constructed with the same team seed must fabricate the
+  // identical pair for the same op -- that is the whole attack.
+  sim::Simulator sim2(sim::SimConfig::with_fixed_delay(1, 10));
+  Probe probe2;
+  sim2.add_process(ProcessId::reader(0), &probe2);
+  ServerContext ctx;
+  ctx.self = ProcessId::server(1);
+  ctx.config.n = 5;
+  ctx.config.f = 1;
+  ctx.transport = &sim2;
+  ctx.rng = Rng(123);
+  ByzantineServer other(std::move(ctx),
+                        std::make_unique<ColludeStrategy>(42));
+  sim2.add_process(ProcessId::server(1), &other);
+  make(StrategyKind::kCollude, 42);
+
+  send(MsgType::kQueryData, 5);
+  RegisterMessage q;
+  q.type = MsgType::kQueryData;
+  q.op_id = 5;
+  sim2.send(ProcessId::reader(0), ProcessId::server(1), q.encode());
+  sim2.run_until_idle();
+
+  ASSERT_EQ(probe_.parsed.size(), 1u);
+  ASSERT_EQ(probe2.parsed.size(), 1u);
+  EXPECT_EQ(probe_.parsed[0].tag, probe2.parsed[0].tag);
+  EXPECT_EQ(probe_.parsed[0].value, probe2.parsed[0].value);
+}
+
+TEST_F(AdversaryFixture, ColludersFabricationVariesWithOp) {
+  make(StrategyKind::kCollude, 42);
+  send(MsgType::kQueryData, 1);
+  send(MsgType::kQueryData, 2);
+  ASSERT_EQ(probe_.parsed.size(), 2u);
+  EXPECT_NE(probe_.parsed[0].value, probe_.parsed[1].value);
+}
+
+TEST_F(AdversaryFixture, DoubleReplierSendsTwoConflictingAnswers) {
+  make(StrategyKind::kDoubleReply);
+  send(MsgType::kQueryData);
+  ASSERT_EQ(probe_.parsed.size(), 2u);
+  EXPECT_NE(probe_.parsed[0].tag, probe_.parsed[1].tag);
+}
+
+TEST_F(AdversaryFixture, MalformedSendsUnparsableJunk) {
+  make(StrategyKind::kMalformed);
+  send(MsgType::kQueryData);
+  send(MsgType::kQueryTag, 2);
+  EXPECT_GE(probe_.raw.size(), 2u);
+  EXPECT_TRUE(probe_.parsed.empty()) << "junk must not parse as a message";
+}
+
+TEST_F(AdversaryFixture, TurncoatIsHonestThenStale) {
+  make(StrategyKind::kTurncoat);  // honest for 20 messages
+  const Tag t{3, ProcessId::writer(0)};
+  send(MsgType::kPutData, 1, t, Bytes{'v'});
+  send(MsgType::kQueryData, 2);
+  ASSERT_EQ(probe_.parsed.size(), 2u);
+  EXPECT_EQ(probe_.parsed[1].tag, t) << "still honest: serves the stored pair";
+
+  // Burn through the honest budget.
+  for (uint64_t i = 0; i < 20; ++i) send(MsgType::kQueryTag, 100 + i);
+  probe_.parsed.clear();
+  send(MsgType::kQueryData, 999);
+  ASSERT_EQ(probe_.parsed.size(), 1u);
+  EXPECT_EQ(probe_.parsed[0].tag, Tag::initial()) << "turned: stale answers";
+}
+
+TEST_F(AdversaryFixture, StrategyNamesRoundTrip) {
+  for (auto kind : kAllStrategyKinds) {
+    EXPECT_STRNE(to_string(kind), "?");
+  }
+}
+
+}  // namespace
+}  // namespace bftreg::adversary

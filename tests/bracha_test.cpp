@@ -1,0 +1,205 @@
+// Bracha reliable broadcast: agreement, all-or-none, Byzantine resistance,
+// and the latency overhead the paper charges RB with (Section I-B).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "broadcast/bracha.h"
+#include "sim/simulator.h"
+
+namespace bftreg::broadcast {
+namespace {
+
+class BrachaHost final : public net::IProcess {
+ public:
+  BrachaHost(ProcessId self, std::vector<ProcessId> peers, size_t f,
+             net::Transport* transport)
+      : self_(self) {
+    peer_ = std::make_unique<BrachaPeer>(
+        self, std::move(peers), f,
+        [this, transport](const ProcessId& to, Bytes frame) {
+          transport->send(self_, to, std::move(frame));
+        },
+        [this](Bytes blob) {
+          delivered_.push_back(std::move(blob));
+          delivered_at_.push_back(0);
+        });
+  }
+
+  void on_message(const net::Envelope& env) override {
+    peer_->on_frame(env.from, env.payload);
+  }
+
+  BrachaPeer& peer() { return *peer_; }
+  const std::vector<Bytes>& delivered() const { return delivered_; }
+
+ private:
+  ProcessId self_;
+  std::unique_ptr<BrachaPeer> peer_;
+  std::vector<Bytes> delivered_;
+  std::vector<TimeNs> delivered_at_;
+};
+
+struct BrachaCluster {
+  explicit BrachaCluster(size_t n, size_t f, uint64_t seed = 1,
+                         TimeNs delay = 100)
+      : sim(sim::SimConfig::with_fixed_delay(seed, delay)) {
+    std::vector<ProcessId> peers;
+    for (uint32_t i = 0; i < n; ++i) peers.push_back(ProcessId::server(i));
+    for (uint32_t i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<BrachaHost>(ProcessId::server(i), peers, f,
+                                                   &sim));
+      sim.add_process(ProcessId::server(i), hosts.back().get());
+    }
+  }
+
+  size_t delivered_count(const Bytes& blob) const {
+    size_t c = 0;
+    for (const auto& h : hosts) {
+      for (const auto& d : h->delivered()) {
+        if (d == blob) ++c;
+      }
+    }
+    return c;
+  }
+
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<BrachaHost>> hosts;
+};
+
+TEST(BrachaTest, AllHonestDeliverBroadcast) {
+  BrachaCluster c(4, 1);
+  const Bytes blob{'m', '1'};
+  c.hosts[0]->peer().broadcast(blob);
+  c.sim.run_until_idle();
+  EXPECT_EQ(c.delivered_count(blob), 4u);
+}
+
+TEST(BrachaTest, DeliversExactlyOncePerHost) {
+  BrachaCluster c(7, 2);
+  const Bytes blob{'x'};
+  c.hosts[3]->peer().broadcast(blob);
+  c.sim.run_until_idle();
+  for (const auto& h : c.hosts) {
+    EXPECT_EQ(h->delivered().size(), 1u);
+  }
+}
+
+TEST(BrachaTest, ConcurrentBroadcastsAllDeliver) {
+  BrachaCluster c(4, 1);
+  const Bytes b1{'a'};
+  const Bytes b2{'b'};
+  const Bytes b3{'c'};
+  c.hosts[0]->peer().broadcast(b1);
+  c.hosts[1]->peer().broadcast(b2);
+  c.hosts[2]->peer().broadcast(b3);
+  c.sim.run_until_idle();
+  EXPECT_EQ(c.delivered_count(b1), 4u);
+  EXPECT_EQ(c.delivered_count(b2), 4u);
+  EXPECT_EQ(c.delivered_count(b3), 4u);
+}
+
+TEST(BrachaTest, AllOrNone_CrashedOriginAfterEchoStillDelivers) {
+  // Once any honest peer echoes and thresholds are met, everyone delivers,
+  // even if the origin crashes right after its SEND multicast: the
+  // all-or-none property BSR deliberately lives without.
+  BrachaCluster c(4, 1);
+  const Bytes blob{'z'};
+  c.hosts[0]->peer().broadcast(blob);
+  c.sim.mark_crashed(ProcessId::server(0));  // origin crashes post-send
+  c.sim.run_until_idle();
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(c.hosts[i]->delivered().size(), 1u) << "host " << i;
+  }
+}
+
+TEST(BrachaTest, SilentByzantinePeerDoesNotBlockDelivery) {
+  BrachaCluster c(4, 1);
+  c.sim.mark_crashed(ProcessId::server(3));  // worst case: one peer mute
+  const Bytes blob{'q'};
+  c.hosts[0]->peer().broadcast(blob);
+  c.sim.run_until_idle();
+  EXPECT_EQ(c.delivered_count(blob), 3u);
+}
+
+TEST(BrachaTest, ForgedReadiesAloneCannotForceDelivery) {
+  // A single Byzantine peer sends READY for a blob nobody broadcast; with
+  // f = 1 the deliver threshold is 2f+1 = 3 readies, so nothing delivers.
+  BrachaCluster c(4, 1);
+  const Bytes bogus{'!', '!'};
+  const Bytes frame = BrachaPeer::make_frame(BrachaPeer::Phase::kReady, bogus);
+  for (uint32_t i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    c.sim.send(ProcessId::server(2), ProcessId::server(i), frame);
+  }
+  c.sim.run_until_idle();
+  EXPECT_EQ(c.delivered_count(bogus), 0u);
+}
+
+TEST(BrachaTest, NonBrachaFramesAreRejected) {
+  BrachaCluster c(4, 1);
+  BrachaPeer& p = c.hosts[0]->peer();
+  EXPECT_FALSE(p.on_frame(ProcessId::server(1), Bytes{}));
+  EXPECT_FALSE(p.on_frame(ProcessId::server(1), Bytes{0x00, 0x01, 0x02}));
+  EXPECT_FALSE(p.on_frame(ProcessId::server(1), Bytes{BrachaPeer::kMagic, 99}));
+}
+
+TEST(BrachaTest, DeliveryTakesAtLeastTwoExtraHops) {
+  // The "1.5 rounds" claim: with one-way delay d, direct point-to-point
+  // delivery costs d, while RB delivery at a non-origin host costs at
+  // least 3d (SEND -> ECHO -> READY chains). Measure it.
+  BrachaCluster c(4, 1, /*seed=*/1, /*delay=*/1000);
+  const Bytes blob{'t'};
+  c.hosts[0]->peer().broadcast(blob);
+  bool all = false;
+  c.sim.run_until([&] {
+    all = true;
+    for (size_t i = 1; i < 4; ++i) all = all && !c.hosts[i]->delivered().empty();
+    return all;
+  });
+  ASSERT_TRUE(all);
+  // Non-origin hosts need SEND(d) + ECHO(d) + READY(d).
+  EXPECT_GE(c.sim.now(), 3000u);
+}
+
+TEST(BrachaTest, StatsCountPhases) {
+  BrachaCluster c(4, 1);
+  const Bytes blob{'s'};
+  c.hosts[0]->peer().broadcast(blob);
+  c.sim.run_until_idle();
+  const auto& st = c.hosts[0]->peer().stats();
+  EXPECT_EQ(st.echoes_sent, 1u);
+  EXPECT_EQ(st.readies_sent, 1u);
+  EXPECT_EQ(st.delivered, 1u);
+}
+
+struct BrachaParam {
+  size_t n;
+  size_t f;
+};
+
+class BrachaSweepTest : public ::testing::TestWithParam<BrachaParam> {};
+
+TEST_P(BrachaSweepTest, DeliversAtScaleWithFSilentPeers) {
+  const auto [n, f] = GetParam();
+  BrachaCluster c(n, f, 42);
+  for (size_t i = 0; i < f; ++i) {
+    c.sim.mark_crashed(ProcessId::server(static_cast<uint32_t>(n - 1 - i)));
+  }
+  const Bytes blob{'p'};
+  c.hosts[0]->peer().broadcast(blob);
+  c.sim.run_until_idle();
+  EXPECT_EQ(c.delivered_count(blob), n - f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BrachaSweepTest,
+                         ::testing::Values(BrachaParam{4, 1}, BrachaParam{7, 2},
+                                           BrachaParam{10, 3}, BrachaParam{13, 4},
+                                           BrachaParam{16, 5}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+}  // namespace
+}  // namespace bftreg::broadcast

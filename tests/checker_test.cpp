@@ -1,0 +1,256 @@
+// Unit tests for the safety/regularity checkers over hand-built histories.
+#include <gtest/gtest.h>
+
+#include "checker/consistency.h"
+#include "checker/execution.h"
+
+namespace bftreg::checker {
+namespace {
+
+const Bytes kV0{};  // empty initial value
+const Bytes kA{'a'};
+const Bytes kB{'b'};
+const Bytes kC{'c'};
+
+Tag tag(uint64_t n, uint32_t w = 0) { return Tag{n, ProcessId::writer(w)}; }
+
+struct HistoryBuilder {
+  ExecutionRecorder rec;
+
+  /// Complete write over [t1, t2].
+  void write(TimeNs t1, TimeNs t2, Bytes v, Tag t, uint32_t client = 0) {
+    const uint64_t id = rec.begin_write(ProcessId::writer(client), t1, std::move(v));
+    rec.complete_write(id, t2, t);
+  }
+  /// Crashed (incomplete) write invoked at t1.
+  void crashed_write(TimeNs t1, Bytes v, uint32_t client = 0) {
+    rec.begin_write(ProcessId::writer(client), t1, std::move(v));
+  }
+  void read(TimeNs t1, TimeNs t2, Bytes v, Tag t, uint32_t client = 0) {
+    const uint64_t id = rec.begin_read(ProcessId::reader(client), t1);
+    rec.complete_read(id, t2, std::move(v), t);
+  }
+};
+
+CheckOptions opts(bool strict = false) {
+  CheckOptions o;
+  o.initial_value = kV0;
+  o.strict_validity = strict;
+  return o;
+}
+
+TEST(SafetyCheckerTest, EmptyExecutionIsSafe) {
+  EXPECT_TRUE(check_safety({}, opts()).ok);
+}
+
+TEST(SafetyCheckerTest, ReadAfterWriteReturningThatWriteIsSafe) {
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.read(20, 30, kA, tag(1));
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);
+}
+
+TEST(SafetyCheckerTest, ReadReturningStaleValueIsUnsafe) {
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 30, kB, tag(2));
+  h.read(40, 50, kA, tag(1));  // a completed write (B) falls between A and r
+  const auto res = check_safety(h.rec.ops(), opts());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("safety"), std::string::npos);
+}
+
+TEST(SafetyCheckerTest, InitialValueLegalOnlyBeforeAnyCompleteWrite) {
+  HistoryBuilder h1;
+  h1.read(0, 5, kV0, Tag::initial());
+  EXPECT_TRUE(check_safety(h1.rec.ops(), opts()).ok);
+
+  HistoryBuilder h2;
+  h2.write(0, 10, kA, tag(1));
+  h2.read(20, 30, kV0, Tag::initial());
+  EXPECT_FALSE(check_safety(h2.rec.ops(), opts()).ok);
+}
+
+TEST(SafetyCheckerTest, ConcurrentReadMayReturnAnything) {
+  HistoryBuilder h;
+  h.write(0, 100, kA, tag(1));
+  h.read(50, 60, kC, tag(9));  // concurrent with the write; clause (ii)
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);
+}
+
+TEST(SafetyCheckerTest, StrictValidityRejectsFabricatedValues) {
+  HistoryBuilder h;
+  h.write(0, 100, kA, tag(1));
+  h.read(50, 60, kC, tag(9));  // kC was never written
+  EXPECT_FALSE(check_safety(h.rec.ops(), opts(true)).ok);
+}
+
+TEST(SafetyCheckerTest, StrictValidityAcceptsConcurrentWrittenValue) {
+  HistoryBuilder h;
+  h.write(0, 100, kA, tag(1));
+  h.read(50, 60, kA, tag(1));
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts(true)).ok);
+}
+
+TEST(SafetyCheckerTest, CrashedWriteValueIsLegalForLaterRead) {
+  // w(A) crashes; read may return A (Lemma 3 allows any write that began
+  // before the read, and an incomplete write cannot be superseded).
+  HistoryBuilder h;
+  h.crashed_write(0, kA);
+  h.read(100, 110, kA, tag(1));
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);
+}
+
+TEST(SafetyCheckerTest, CrashedWriteDoesNotMakeV0Illegal) {
+  HistoryBuilder h;
+  h.crashed_write(0, kA);
+  h.read(100, 110, kV0, Tag::initial());
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);
+}
+
+TEST(SafetyCheckerTest, ValueFromFutureWriteIsUnsafe) {
+  HistoryBuilder h;
+  h.read(0, 10, kA, tag(1));       // returns A before A was ever written
+  h.write(20, 30, kA, tag(1));
+  EXPECT_FALSE(check_safety(h.rec.ops(), opts()).ok);
+}
+
+TEST(SafetyCheckerTest, TwoSequentialWritesReadNewestIsSafe) {
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 30, kB, tag(2));
+  h.read(40, 50, kB, tag(2));
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);
+}
+
+TEST(SafetyCheckerTest, OverlappingWritesEitherValueLegalAfterBothComplete) {
+  // Two concurrent writes; a later read may return either (neither falls
+  // completely between the other and the read).
+  HistoryBuilder h;
+  h.write(0, 100, kA, tag(1, 0));
+  h.write(50, 150, kB, tag(1, 1));
+  h.read(200, 210, kA, tag(1, 0));
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);
+  HistoryBuilder h2;
+  h2.write(0, 100, kA, tag(1, 0));
+  h2.write(50, 150, kB, tag(1, 1));
+  h2.read(200, 210, kB, tag(1, 1));
+  EXPECT_TRUE(check_safety(h2.rec.ops(), opts()).ok);
+}
+
+// ------------------------------------------------------------- regularity
+
+TEST(RegularityCheckerTest, Theorem3ScenarioIsUnsafeForRegularity) {
+  // The paper's counterexample: w1(v1) completes; w2..w5 start but do not
+  // complete; the read (concurrent with w2..w5) returns v0. Safe by clause
+  // (ii), but NOT regular.
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1, 0));          // w1 completes
+  h.crashed_write(20, kB, 1);             // in-progress writes
+  h.crashed_write(20, kC, 2);
+  h.read(30, 40, kV0, Tag::initial());    // returns v0
+
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);
+  const auto res = check_regularity(h.rec.ops(), opts());
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(RegularityCheckerTest, ConcurrentWriteValueIsRegular) {
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 100, kB, tag(2));
+  h.read(50, 60, kB, tag(2));  // concurrent write's value: fine
+  EXPECT_TRUE(check_regularity(h.rec.ops(), opts()).ok);
+}
+
+TEST(RegularityCheckerTest, LastCompleteWriteIsRegular) {
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 100, kB, tag(2));
+  h.read(50, 60, kA, tag(1));  // last complete preceding write: fine
+  EXPECT_TRUE(check_regularity(h.rec.ops(), opts()).ok);
+}
+
+TEST(RegularityCheckerTest, SkippingACompletedWriteIsIrregular) {
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 30, kB, tag(2));   // complete before the read
+  h.write(40, 200, kC, tag(3));  // concurrent with the read
+  h.read(100, 110, kA, tag(1));  // skips completed B
+  EXPECT_FALSE(check_regularity(h.rec.ops(), opts()).ok);
+  EXPECT_TRUE(check_safety(h.rec.ops(), opts()).ok);  // but still safe (ii)
+}
+
+TEST(RegularityCheckerTest, NewOldInversionDetected) {
+  // Each read is individually legal (B is concurrent with both reads; A is
+  // the last complete write), but together they order B before A -- the
+  // new/old inversion Definition 2 forbids.
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 200, kB, tag(2));   // concurrent with both reads
+  h.read(50, 60, kB, tag(2), 0);
+  h.read(70, 80, kA, tag(1), 0);  // same reader goes backward
+  const auto res = check_regularity(h.rec.ops(), opts());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("inversion"), std::string::npos);
+}
+
+TEST(RegularityCheckerTest, CrossReaderInversionIsAllowed) {
+  // Different readers may disagree on concurrent writes: regular, not
+  // atomic, semantics.
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 200, kB, tag(2));   // concurrent with both reads
+  h.read(50, 60, kB, tag(2), 0);  // reader 0 sees the new value
+  h.read(70, 80, kA, tag(1), 1);  // reader 1 still sees the old one
+  EXPECT_TRUE(check_regularity(h.rec.ops(), opts()).ok);
+}
+
+TEST(RegularityCheckerTest, ConcurrentReadsMayDisagree) {
+  // Two reads concurrent with each other during a write may see different
+  // states; that alone is not an inversion.
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.write(20, 200, kB, tag(2));
+  h.read(50, 150, kB, tag(2), 0);
+  h.read(60, 160, kA, tag(1), 1);
+  EXPECT_TRUE(check_regularity(h.rec.ops(), opts()).ok);
+}
+
+TEST(RecorderTest, DumpContainsOps) {
+  HistoryBuilder h;
+  h.write(0, 10, kA, tag(1));
+  h.read(20, 30, kA, tag(1));
+  const std::string d = h.rec.dump();
+  EXPECT_NE(d.find("W1"), std::string::npos);
+  EXPECT_NE(d.find("R2"), std::string::npos);
+}
+
+TEST(RecorderTest, TimelineShowsBarsAndIncompleteMarkers) {
+  HistoryBuilder h;
+  h.write(0, 50, kA, tag(1));
+  h.crashed_write(60, kB, 1);
+  h.read(70, 100, kA, tag(1));
+  const std::string t = h.rec.dump_timeline(32);
+  EXPECT_NE(t.find("time axis: [0, 100]"), std::string::npos);
+  EXPECT_NE(t.find("W1 writer:0"), std::string::npos);
+  EXPECT_NE(t.find('#'), std::string::npos);
+  EXPECT_NE(t.find('>'), std::string::npos);  // the crashed write
+  EXPECT_NE(t.find("R3 reader:0"), std::string::npos);
+}
+
+TEST(RecorderTest, TimelineOfEmptyExecution) {
+  ExecutionRecorder rec;
+  EXPECT_EQ(rec.dump_timeline(), "(empty execution)\n");
+}
+
+TEST(RecorderTest, IncompleteOpsHaveOpenInterval) {
+  ExecutionRecorder rec;
+  rec.begin_write(ProcessId::writer(0), 5, kA);
+  ASSERT_EQ(rec.ops().size(), 1u);
+  EXPECT_FALSE(rec.ops()[0].completed);
+  EXPECT_NE(rec.dump().find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bftreg::checker

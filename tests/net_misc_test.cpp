@@ -1,0 +1,145 @@
+// Coverage for the remaining utility surfaces: delay models, quorum
+// tracking, Result, and logging.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/result.h"
+#include "net/delay.h"
+#include "registers/quorum.h"
+
+namespace bftreg {
+namespace {
+
+net::Envelope env_between(ProcessId from, ProcessId to) {
+  net::Envelope e;
+  e.from = from;
+  e.to = to;
+  return e;
+}
+
+TEST(DelayModelTest, FixedDelayIsConstant) {
+  net::FixedDelay d(123);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.delay(env_between(ProcessId::writer(0), ProcessId::server(0)), rng),
+              123u);
+  }
+}
+
+TEST(DelayModelTest, UniformDelayStaysInRange) {
+  net::UniformDelay d(100, 200);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs v =
+        d.delay(env_between(ProcessId::writer(0), ProcessId::server(0)), rng);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 200u);
+  }
+}
+
+TEST(DelayModelTest, ExponentialDelayRespectsMinimumAndMean) {
+  net::ExponentialDelay d(500, 1000.0);
+  Rng rng(3);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const TimeNs v =
+        d.delay(env_between(ProcessId::writer(0), ProcessId::server(0)), rng);
+    EXPECT_GE(v, 500u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 1500.0, 50.0);  // min + mean
+}
+
+TEST(DelayModelTest, LognormalDelayIsHeavyTailed) {
+  net::LognormalDelay d(0, 6.0, 1.5);
+  Rng rng(4);
+  Samples s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(
+        d.delay(env_between(ProcessId::writer(0), ProcessId::server(0)), rng)));
+  }
+  // Heavy tail: p99 dwarfs the median.
+  EXPECT_GT(s.p99(), 5 * s.median());
+}
+
+TEST(DelayModelTest, ScriptedDelayPrecedence) {
+  auto scripted = net::ScriptedDelay(std::make_unique<net::FixedDelay>(10));
+  Rng rng(5);
+  const auto e = env_between(ProcessId::writer(0), ProcessId::server(1));
+
+  EXPECT_EQ(scripted.delay(e, rng), 10u);  // base
+
+  scripted.set_link_delay(ProcessId::writer(0), ProcessId::server(1), 77);
+  EXPECT_EQ(scripted.delay(e, rng), 77u);  // link override beats base
+
+  scripted.set_hook([](const net::Envelope&) { return std::optional<TimeNs>{5}; });
+  EXPECT_EQ(scripted.delay(e, rng), 5u);  // hook beats link
+
+  scripted.set_hook(
+      [](const net::Envelope&) { return std::optional<TimeNs>{}; });
+  EXPECT_EQ(scripted.delay(e, rng), 77u);  // declining hook falls through
+
+  scripted.clear_hook();
+  scripted.clear_link_delay(ProcessId::writer(0), ProcessId::server(1));
+  EXPECT_EQ(scripted.delay(e, rng), 10u);  // back to base
+
+  scripted.set_link_delay(ProcessId::writer(0), ProcessId::server(1), 99);
+  scripted.clear_all_links();
+  EXPECT_EQ(scripted.delay(e, rng), 10u);
+}
+
+TEST(QuorumTrackerTest, CountsDistinctServersOnly) {
+  registers::QuorumTracker q(3);
+  EXPECT_FALSE(q.reached());
+  EXPECT_TRUE(q.add(ProcessId::server(0)));
+  EXPECT_FALSE(q.add(ProcessId::server(0)));  // duplicate
+  EXPECT_TRUE(q.add(ProcessId::server(1)));
+  EXPECT_EQ(q.count(), 2u);
+  EXPECT_FALSE(q.reached());
+  EXPECT_TRUE(q.add(ProcessId::server(2)));
+  EXPECT_TRUE(q.reached());
+  EXPECT_TRUE(q.contains(ProcessId::server(1)));
+  EXPECT_FALSE(q.contains(ProcessId::server(9)));
+  q.reset();
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_FALSE(q.reached());
+}
+
+TEST(ResultTest, OkAndErrorPaths) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> err(Errc::kDecodeFailed, "too many errors");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.value_or(7), 7);
+  EXPECT_EQ(err.error().code, Errc::kDecodeFailed);
+  EXPECT_EQ(err.error().detail, "too many errors");
+}
+
+TEST(ResultTest, ErrcNamesAreStable) {
+  EXPECT_STREQ(to_string(Errc::kOk), "ok");
+  EXPECT_STREQ(to_string(Errc::kDecodeFailed), "decode failed");
+  EXPECT_STREQ(to_string(Errc::kAuthFailed), "authentication failed");
+}
+
+TEST(LogTest, LevelGatingWorks) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must not crash and must be cheap no-ops below the level.
+  LOG_DEBUG << "invisible " << 1;
+  LOG_INFO << "invisible " << 2;
+  set_log_level(LogLevel::kOff);
+  LOG_ERROR << "also invisible";
+  set_log_level(prev);
+}
+
+}  // namespace
+}  // namespace bftreg

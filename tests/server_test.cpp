@@ -1,0 +1,225 @@
+// Unit tests for RegisterServer (Fig. 3 / Fig. 6 server logic).
+#include <gtest/gtest.h>
+
+#include "registers/server.h"
+#include "sim/simulator.h"
+
+namespace bftreg::registers {
+namespace {
+
+class ClientProbe final : public net::IProcess {
+ public:
+  void on_message(const net::Envelope& env) override {
+    auto msg = RegisterMessage::parse(env.payload);
+    ASSERT_TRUE(msg.has_value());
+    received.push_back(*msg);
+  }
+  std::vector<RegisterMessage> received;
+};
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  ServerFixture()
+      : sim_(sim::SimConfig::with_fixed_delay(1, 10)),
+        config_{make_config()},
+        server_(ProcessId::server(0), config_, &sim_, Bytes{'v', '0'}) {
+    sim_.add_process(ProcessId::server(0), &server_);
+    sim_.add_process(writer_, &writer_probe_);
+    sim_.add_process(reader_, &reader_probe_);
+  }
+
+  static SystemConfig make_config() {
+    SystemConfig c;
+    c.n = 5;
+    c.f = 1;
+    c.initial_value = Bytes{'v', '0'};
+    return c;
+  }
+
+  void send(const ProcessId& from, const RegisterMessage& msg) {
+    sim_.send(from, ProcessId::server(0), msg.encode());
+    sim_.run_until_idle();
+  }
+
+  RegisterMessage put(uint64_t op, Tag tag, Bytes value) {
+    RegisterMessage m;
+    m.type = MsgType::kPutData;
+    m.op_id = op;
+    m.tag = tag;
+    m.value = std::move(value);
+    return m;
+  }
+
+  sim::Simulator sim_;
+  SystemConfig config_;
+  RegisterServer server_;
+  ProcessId writer_ = ProcessId::writer(0);
+  ProcessId reader_ = ProcessId::reader(0);
+  ClientProbe writer_probe_;
+  ClientProbe reader_probe_;
+};
+
+TEST_F(ServerFixture, InitialStateHasT0) {
+  EXPECT_EQ(server_.max_tag(), Tag::initial());
+  EXPECT_EQ(server_.max_value(), (Bytes{'v', '0'}));
+  EXPECT_EQ(server_.store().size(), 1u);
+}
+
+TEST_F(ServerFixture, QueryTagReturnsMaxTag) {
+  RegisterMessage q;
+  q.type = MsgType::kQueryTag;
+  q.op_id = 5;
+  send(writer_, q);
+  ASSERT_EQ(writer_probe_.received.size(), 1u);
+  EXPECT_EQ(writer_probe_.received[0].type, MsgType::kTagResp);
+  EXPECT_EQ(writer_probe_.received[0].op_id, 5u);
+  EXPECT_EQ(writer_probe_.received[0].tag, Tag::initial());
+}
+
+TEST_F(ServerFixture, PutDataStoresAndAcks) {
+  const Tag t{1, ProcessId::writer(0)};
+  send(writer_, put(9, t, Bytes{'a'}));
+  ASSERT_EQ(writer_probe_.received.size(), 1u);
+  EXPECT_EQ(writer_probe_.received[0].type, MsgType::kAck);
+  EXPECT_EQ(writer_probe_.received[0].tag, t);
+  EXPECT_EQ(server_.max_tag(), t);
+  EXPECT_EQ(server_.max_value(), (Bytes{'a'}));
+}
+
+TEST_F(ServerFixture, AllPolicyKeepsInterleavedTags) {
+  send(writer_, put(1, Tag{5, ProcessId::writer(0)}, Bytes{'5'}));
+  send(writer_, put(2, Tag{3, ProcessId::writer(1)}, Bytes{'3'}));
+  EXPECT_EQ(server_.store().size(), 3u);  // t0, 3, 5
+  EXPECT_EQ(server_.max_tag(), (Tag{5, ProcessId::writer(0)}));
+}
+
+TEST_F(ServerFixture, LowerPutStillAcked) {
+  send(writer_, put(1, Tag{5, ProcessId::writer(0)}, Bytes{'5'}));
+  send(writer_, put(2, Tag{3, ProcessId::writer(1)}, Bytes{'3'}));
+  EXPECT_EQ(writer_probe_.received.size(), 2u);
+  EXPECT_EQ(writer_probe_.received[1].type, MsgType::kAck);
+}
+
+TEST_F(ServerFixture, QueryDataReturnsNewestPair) {
+  send(writer_, put(1, Tag{2, ProcessId::writer(0)}, Bytes{'b'}));
+  RegisterMessage q;
+  q.type = MsgType::kQueryData;
+  q.op_id = 77;
+  send(reader_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  const auto& resp = reader_probe_.received[0];
+  EXPECT_EQ(resp.type, MsgType::kDataResp);
+  EXPECT_EQ(resp.tag, (Tag{2, ProcessId::writer(0)}));
+  EXPECT_EQ(resp.value, (Bytes{'b'}));
+}
+
+TEST_F(ServerFixture, QueryHistoryReturnsEverything) {
+  send(writer_, put(1, Tag{1, ProcessId::writer(0)}, Bytes{'1'}));
+  send(writer_, put(2, Tag{2, ProcessId::writer(0)}, Bytes{'2'}));
+  RegisterMessage q;
+  q.type = MsgType::kQueryHistory;
+  send(reader_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  EXPECT_EQ(reader_probe_.received[0].history.size(), 3u);  // t0 + two writes
+}
+
+TEST_F(ServerFixture, QueryTagHistoryReturnsAllTags) {
+  send(writer_, put(1, Tag{4, ProcessId::writer(1)}, Bytes{'x'}));
+  RegisterMessage q;
+  q.type = MsgType::kQueryTagHistory;
+  send(reader_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  EXPECT_EQ(reader_probe_.received[0].tags.size(), 2u);
+}
+
+TEST_F(ServerFixture, QueryDataAtKnownTagAnswersImmediately) {
+  const Tag t{1, ProcessId::writer(0)};
+  send(writer_, put(1, t, Bytes{'k'}));
+  RegisterMessage q;
+  q.type = MsgType::kQueryDataAt;
+  q.op_id = 3;
+  q.tag = t;
+  send(reader_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  EXPECT_EQ(reader_probe_.received[0].type, MsgType::kDataAtResp);
+  EXPECT_EQ(reader_probe_.received[0].value, (Bytes{'k'}));
+}
+
+TEST_F(ServerFixture, QueryDataAtUnknownTagDefersUntilPutArrives) {
+  const Tag t{7, ProcessId::writer(0)};
+  RegisterMessage q;
+  q.type = MsgType::kQueryDataAt;
+  q.op_id = 11;
+  q.tag = t;
+  send(reader_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  EXPECT_EQ(reader_probe_.received[0].type, MsgType::kDataAtMissing);
+
+  // The PUT-DATA for that tag arrives later: the server answers the
+  // deferred query.
+  send(writer_, put(1, t, Bytes{'d'}));
+  ASSERT_EQ(reader_probe_.received.size(), 2u);
+  EXPECT_EQ(reader_probe_.received[1].type, MsgType::kDataAtResp);
+  EXPECT_EQ(reader_probe_.received[1].op_id, 11u);
+  EXPECT_EQ(reader_probe_.received[1].value, (Bytes{'d'}));
+}
+
+TEST_F(ServerFixture, ReadDoneCancelsDeferredQuery) {
+  const Tag t{7, ProcessId::writer(0)};
+  RegisterMessage q;
+  q.type = MsgType::kQueryDataAt;
+  q.op_id = 11;
+  q.tag = t;
+  send(reader_, q);
+  RegisterMessage done;
+  done.type = MsgType::kReadDone;
+  done.op_id = 11;
+  send(reader_, done);
+  send(writer_, put(1, t, Bytes{'d'}));
+  // Only the initial DATA-AT-MISSING; no deferred answer after READ-DONE.
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+}
+
+TEST_F(ServerFixture, MalformedPayloadIgnored) {
+  sim_.send(writer_, ProcessId::server(0), Bytes{0xde, 0xad});
+  sim_.run_until_idle();
+  EXPECT_TRUE(writer_probe_.received.empty());
+  EXPECT_EQ(server_.store().size(), 1u);
+}
+
+TEST_F(ServerFixture, StoredBytesTracksPayloads) {
+  const size_t initial = server_.stored_bytes();
+  send(writer_, put(1, Tag{1, ProcessId::writer(0)}, Bytes(100, 0)));
+  EXPECT_EQ(server_.stored_bytes(), initial + 100);
+}
+
+// MaxOnly policy (Fig. 3 verbatim).
+TEST(ServerMaxOnlyTest, DropsNonIncreasingTags) {
+  sim::Simulator sim(sim::SimConfig::with_fixed_delay(1, 10));
+  SystemConfig cfg;
+  cfg.n = 5;
+  cfg.f = 1;
+  cfg.store_policy = StorePolicy::kMaxOnly;
+  RegisterServer server(ProcessId::server(0), cfg, &sim, Bytes{});
+  ClientProbe probe;
+  sim.add_process(ProcessId::server(0), &server);
+  sim.add_process(ProcessId::writer(0), &probe);
+
+  auto put = [&](Tag tag, Bytes v) {
+    RegisterMessage m;
+    m.type = MsgType::kPutData;
+    m.tag = tag;
+    m.value = std::move(v);
+    sim.send(ProcessId::writer(0), ProcessId::server(0), m.encode());
+    sim.run_until_idle();
+  };
+  put(Tag{5, ProcessId::writer(0)}, Bytes{'5'});
+  put(Tag{3, ProcessId::writer(1)}, Bytes{'3'});  // lower: dropped
+  put(Tag{5, ProcessId::writer(0)}, Bytes{'X'});  // equal: dropped
+  EXPECT_EQ(server.store().size(), 2u);  // t0 and tag 5
+  EXPECT_EQ(server.max_value(), (Bytes{'5'}));
+  EXPECT_EQ(probe.received.size(), 3u);  // all three ACKed regardless
+}
+
+}  // namespace
+}  // namespace bftreg::registers

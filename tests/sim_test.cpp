@@ -1,0 +1,253 @@
+// Tests for the deterministic discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace bftreg::sim {
+namespace {
+
+/// Records every delivered envelope; can auto-reply.
+class Recorder final : public net::IProcess {
+ public:
+  explicit Recorder(ProcessId self, net::Transport* transport = nullptr)
+      : self_(self), transport_(transport) {}
+
+  void on_start() override { started_ = true; }
+
+  void on_message(const net::Envelope& env) override {
+    received_.push_back(env);
+    if (transport_ != nullptr && !env.payload.empty() && env.payload[0] == 'P') {
+      transport_->send(self_, env.from, Bytes{'R'});
+    }
+  }
+
+  bool started() const { return started_; }
+  const std::vector<net::Envelope>& received() const { return received_; }
+
+ private:
+  ProcessId self_;
+  net::Transport* transport_;
+  bool started_{false};
+  std::vector<net::Envelope> received_;
+};
+
+TEST(SimulatorTest, DeliversWithConfiguredDelay) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 500));
+  Recorder a(ProcessId::writer(0));
+  Recorder b(ProcessId::server(0));
+  sim.add_process(ProcessId::writer(0), &a);
+  sim.add_process(ProcessId::server(0), &b);
+
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{1, 2, 3});
+  sim.run_until_idle();
+
+  ASSERT_EQ(b.received().size(), 1u);
+  EXPECT_EQ(b.received()[0].payload, (Bytes{1, 2, 3}));
+  EXPECT_EQ(b.received()[0].from, ProcessId::writer(0));
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(SimulatorTest, StartAllInvokesOnStart) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  Recorder a(ProcessId::server(0));
+  sim.add_process(ProcessId::server(0), &a);
+  sim.start_all();
+  sim.run_until_idle();
+  EXPECT_TRUE(a.started());
+}
+
+TEST(SimulatorTest, RequestReplyRoundTrip) {
+  Simulator sim(SimConfig::with_fixed_delay(2, 100));
+  Recorder client(ProcessId::reader(0), &sim);
+  Recorder server(ProcessId::server(0), &sim);
+  sim.add_process(ProcessId::reader(0), &client);
+  sim.add_process(ProcessId::server(0), &server);
+
+  sim.send(ProcessId::reader(0), ProcessId::server(0), Bytes{'P'});
+  sim.run_until_idle();
+
+  ASSERT_EQ(client.received().size(), 1u);
+  EXPECT_EQ(client.received()[0].payload, (Bytes{'R'}));
+  EXPECT_EQ(sim.now(), 200u);  // one round trip = 2 one-way delays
+}
+
+TEST(SimulatorTest, IdenticalSeedsGiveIdenticalSchedules) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(SimConfig::with_uniform_delay(seed, 10, 1000));
+    Recorder dst(ProcessId::server(0));
+    sim.add_process(ProcessId::server(0), &dst);
+    for (uint8_t i = 0; i < 50; ++i) {
+      sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{i});
+    }
+    sim.run_until_idle();
+    std::vector<uint8_t> order;
+    for (const auto& env : dst.received()) order.push_back(env.payload[0]);
+    return order;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // overwhelmingly likely with 50 messages
+}
+
+TEST(SimulatorTest, RandomDelaysReorderMessages) {
+  // The asynchronous model allows arbitrary per-channel reordering.
+  Simulator sim(SimConfig::with_uniform_delay(7, 1, 10000));
+  Recorder dst(ProcessId::server(0));
+  sim.add_process(ProcessId::server(0), &dst);
+  for (uint8_t i = 0; i < 100; ++i) {
+    sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{i});
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(dst.received().size(), 100u);
+  bool reordered = false;
+  for (size_t i = 1; i < dst.received().size(); ++i) {
+    if (dst.received()[i].payload[0] < dst.received()[i - 1].payload[0]) {
+      reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(SimulatorTest, CrashedDestinationReceivesNothing) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  Recorder dst(ProcessId::server(0));
+  sim.add_process(ProcessId::server(0), &dst);
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{1});
+  sim.mark_crashed(ProcessId::server(0));
+  sim.run_until_idle();
+  EXPECT_TRUE(dst.received().empty());
+}
+
+TEST(SimulatorTest, CrashedSenderPlacesNoMessages) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  Recorder dst(ProcessId::server(0));
+  sim.add_process(ProcessId::server(0), &dst);
+  sim.mark_crashed(ProcessId::writer(0));
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{1});
+  sim.run_until_idle();
+  EXPECT_TRUE(dst.received().empty());
+  EXPECT_EQ(sim.metrics().snapshot().messages_sent, 0u);
+}
+
+TEST(SimulatorTest, ForgedMacIsDroppedAndCounted) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  Recorder dst(ProcessId::reader(0));
+  sim.add_process(ProcessId::reader(0), &dst);
+
+  // A Byzantine server fabricates an envelope claiming to come from another
+  // server without knowing the channel key.
+  net::Envelope forged;
+  forged.from = ProcessId::server(1);
+  forged.to = ProcessId::reader(0);
+  forged.payload = Bytes{0xEE};
+  forged.mac = 0xBADC0FFEE;  // not a valid seal
+  sim.inject_raw(std::move(forged));
+  sim.run_until_idle();
+
+  EXPECT_TRUE(dst.received().empty());
+  EXPECT_EQ(sim.metrics().snapshot().auth_failures, 1u);
+}
+
+TEST(SimulatorTest, ScriptedLinkDelayOverridesBase) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 100));
+  Recorder fast(ProcessId::server(0));
+  Recorder slow(ProcessId::server(1));
+  sim.add_process(ProcessId::server(0), &fast);
+  sim.add_process(ProcessId::server(1), &slow);
+
+  sim.delay_model().set_link_delay(ProcessId::writer(0), ProcessId::server(1), 9999);
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{1});
+  sim.send(ProcessId::writer(0), ProcessId::server(1), Bytes{2});
+
+  sim.run_until_time(100);
+  EXPECT_EQ(fast.received().size(), 1u);
+  EXPECT_TRUE(slow.received().empty());
+  sim.run_until_idle();
+  EXPECT_EQ(slow.received().size(), 1u);
+  EXPECT_EQ(sim.now(), 9999u);
+}
+
+TEST(SimulatorTest, PayloadHookWinsOverLinkOverride) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 100));
+  Recorder dst(ProcessId::server(0));
+  sim.add_process(ProcessId::server(0), &dst);
+
+  sim.delay_model().set_link_delay(ProcessId::writer(0), ProcessId::server(0), 5000);
+  sim.delay_model().set_hook([](const net::Envelope& env) -> std::optional<TimeNs> {
+    if (!env.payload.empty() && env.payload[0] == 'X') return TimeNs{1};
+    return std::nullopt;
+  });
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{'X'});
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes{'Y'});
+  sim.run_until_idle();
+
+  ASSERT_EQ(dst.received().size(), 2u);
+  EXPECT_EQ(dst.received()[0].payload, (Bytes{'X'}));  // hook made it fast
+  EXPECT_EQ(dst.received()[1].payload, (Bytes{'Y'}));
+}
+
+TEST(SimulatorTest, SchedulingPrimitives) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  std::vector<int> order;
+  sim.schedule_after(300, [&] { order.push_back(3); });
+  sim.schedule_after(100, [&] { order.push_back(1); });
+  sim.schedule_after(200, [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(SimulatorTest, EqualTimeEventsRunInScheduleOrder) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(77, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(static_cast<TimeNs>(i * 10), [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.run_until([&] { return count == 5; }));
+  EXPECT_EQ(count, 5);
+  sim.run_until_idle();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, RunUntilReturnsFalseWhenQueueDrains) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  EXPECT_FALSE(sim.run_until([] { return false; }));
+}
+
+TEST(SimulatorTest, MetricsCountSendsAndDeliveries) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  Recorder dst(ProcessId::server(0));
+  sim.add_process(ProcessId::server(0), &dst);
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes(100, 0));
+  sim.send(ProcessId::writer(0), ProcessId::server(0), Bytes(50, 0));
+  sim.run_until_idle();
+  const auto m = sim.metrics().snapshot();
+  EXPECT_EQ(m.messages_sent, 2u);
+  EXPECT_EQ(m.bytes_sent, 150u);
+  EXPECT_EQ(m.messages_delivered, 2u);
+}
+
+TEST(SimulatorTest, PostRunsInProcessContextUnlessCrashed) {
+  Simulator sim(SimConfig::with_fixed_delay(1, 10));
+  int runs = 0;
+  sim.post(ProcessId::writer(0), [&] { ++runs; });
+  sim.mark_crashed(ProcessId::writer(1));
+  sim.post(ProcessId::writer(1), [&] { ++runs; });
+  sim.run_until_idle();
+  EXPECT_EQ(runs, 1);
+}
+
+}  // namespace
+}  // namespace bftreg::sim
