@@ -6,6 +6,7 @@
 
 #include "codec/gf256.h"
 #include "common/types.h"
+#include "registers/config.h"
 
 namespace bftreg::codec {
 
@@ -22,8 +23,8 @@ uint32_t value_checksum(const Bytes& v) {
 MdsCode::MdsCode(size_t n, size_t k, RsLayout layout) : rs_(n, k, layout) {}
 
 MdsCode MdsCode::for_bcsr(size_t n, size_t f, RsLayout layout) {
-  assert(n >= 5 * f + 1 && "BCSR requires n >= 5f + 1");
-  return MdsCode(n, n - 5 * f, layout);
+  assert(n >= registers::bcsr_min_servers(f) && "BCSR requires n >= 5f + 1");
+  return MdsCode(n, registers::bcsr_code_dimension(n, f), layout);
 }
 
 size_t MdsCode::element_size(size_t value_size) const {
@@ -39,8 +40,8 @@ std::vector<Bytes> MdsCode::encode(const Bytes& value) const {
   std::vector<uint8_t> payload(stripes * kk, 0);
   const auto len = static_cast<uint32_t>(value.size());
   const uint32_t sum = value_checksum(value);
-  for (int i = 0; i < 4; ++i) payload[i] = static_cast<uint8_t>(len >> (8 * i));
-  for (int i = 0; i < 4; ++i) payload[4 + i] = static_cast<uint8_t>(sum >> (8 * i));
+  for (size_t i = 0; i < 4; ++i) payload[i] = static_cast<uint8_t>(len >> (8 * i));
+  for (size_t i = 0; i < 4; ++i) payload[4 + i] = static_cast<uint8_t>(sum >> (8 * i));
   std::copy(value.begin(), value.end(), payload.begin() + kHeaderBytes);
 
   std::vector<Bytes> elements(n(), Bytes(stripes));
@@ -169,8 +170,9 @@ std::optional<Bytes> MdsCode::finish(const std::vector<uint8_t>& payload) const 
   if (payload.size() < kHeaderBytes) return std::nullopt;
   uint32_t len = 0;
   uint32_t sum = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(payload[i]) << (8 * i);
-  for (int i = 0; i < 4; ++i) sum |= static_cast<uint32_t>(payload[4 + i]) << (8 * i);
+  for (size_t i = 0; i < 4; ++i) len |= static_cast<uint32_t>(payload[i]) << (8 * i);
+  for (size_t i = 0; i < 4; ++i)
+    sum |= static_cast<uint32_t>(payload[4 + i]) << (8 * i);
   if (len > payload.size() - kHeaderBytes) return std::nullopt;
   Bytes value(payload.begin() + kHeaderBytes,
               payload.begin() + kHeaderBytes + len);

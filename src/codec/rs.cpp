@@ -135,7 +135,8 @@ std::optional<std::vector<uint8_t>> RsCode::bw_decode(
 
   if (e == 0) {
     // Plain interpolation through the first k points, then verify the rest.
-    std::vector<ReceivedSymbol> head(symbols.begin(), symbols.begin() + k_);
+    std::vector<ReceivedSymbol> head(
+        symbols.begin(), symbols.begin() + static_cast<std::ptrdiff_t>(k_));
     auto coeffs = interpolate(head);
     if (!coeffs) return std::nullopt;
     coeffs->resize(k_, 0);

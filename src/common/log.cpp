@@ -4,13 +4,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace bftreg {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+// Serializes whole lines to stderr so concurrent loggers never interleave.
+// bftreg-lint: allow(unguarded-mutex) -- the guarded resource is stderr.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -47,7 +50,7 @@ void init_log_from_env() {
 
 void log_line(LogLevel level, const std::string& msg) {
   if (log_level() > level) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -3,6 +3,12 @@
 // Logging is off by default (kWarn) so that deterministic tests and benches
 // stay quiet; set `set_log_level(LogLevel::kDebug)` or the BFTREG_LOG env
 // var to trace protocol message flow.
+//
+// Thread-safety: log_line (and therefore the LOG_* macros) may be called
+// from any thread; lines are serialized by an internal mutex so output
+// never interleaves. The level is a relaxed atomic -- set_log_level takes
+// effect promptly but is not a synchronization point. init_log_from_env is
+// not thread-safe against concurrent set_log_level; call it once at startup.
 #pragma once
 
 #include <sstream>

@@ -36,6 +36,8 @@ double Samples::mean() const {
 
 double Samples::percentile(double p) const {
   if (values_.empty()) return 0.0;
+  // Lazy sort mutates `mutable` state: const here means logically-const,
+  // not thread-safe. Concurrent percentile() calls race (see header).
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;

@@ -1,0 +1,54 @@
+// Clang thread-safety analysis macros.
+//
+// These expand to Clang's capability attributes when the compiler supports
+// them (clang with -Wthread-safety) and to nothing elsewhere (gcc), so the
+// same headers compile everywhere while clang statically proves that every
+// access to a GUARDED_BY member happens with its mutex held. The names and
+// semantics follow the LLVM/abseil convention:
+//
+//   CAPABILITY("mutex")   -- a type that is a lockable capability
+//   SCOPED_CAPABILITY     -- an RAII type that acquires/releases on scope
+//   GUARDED_BY(mu)        -- field may only be touched while `mu` is held
+//   PT_GUARDED_BY(mu)     -- pointee (not the pointer) is protected by `mu`
+//   REQUIRES(mu)          -- function must be called with `mu` held
+//   ACQUIRE(mu)/RELEASE(mu) -- function acquires / releases `mu`
+//   TRY_ACQUIRE(ok, mu)   -- conditional acquire, returns `ok` on success
+//   EXCLUDES(mu)          -- function must NOT be called with `mu` held
+//   ASSERT_CAPABILITY(mu) -- runtime assertion that `mu` is held
+//   RETURN_CAPABILITY(mu) -- function returns a reference to `mu`
+//   NO_THREAD_SAFETY_ANALYSIS -- opt a function out of the analysis
+//
+// See docs/ANALYSIS.md for how these are checked in CI and what they
+// guarantee (and do not guarantee) about the runtime transports.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BFTREG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef BFTREG_THREAD_ANNOTATION
+#define BFTREG_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) BFTREG_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY BFTREG_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) BFTREG_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) BFTREG_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) BFTREG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) BFTREG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) BFTREG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  BFTREG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) BFTREG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  BFTREG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) BFTREG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  BFTREG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) BFTREG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) BFTREG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) BFTREG_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) BFTREG_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS BFTREG_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -22,11 +22,11 @@ const char* to_string(Protocol p) {
 size_t min_servers(Protocol p, size_t f) {
   switch (p) {
     case Protocol::kBcsr:
-      return 5 * f + 1;
+      return registers::bcsr_min_servers(f);
     case Protocol::kRb:
-      return 3 * f + 1;
+      return registers::rb_min_servers(f);
     default:
-      return 4 * f + 1;
+      return registers::bsr_min_servers(f);
   }
 }
 

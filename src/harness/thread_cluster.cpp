@@ -122,7 +122,7 @@ void ThreadCluster::build() {
 }
 
 void ThreadCluster::set_byzantine(size_t index, adversary::StrategyKind kind) {
-  assert(!started_ && "set_byzantine must precede start()");
+  assert(!started_.load() && "set_byzantine must precede start()");
   adversary::ServerContext ctx;
   ctx.self = ProcessId::server(static_cast<uint32_t>(index));
   ctx.config = options_.config;
@@ -138,7 +138,7 @@ void ThreadCluster::start() {
 }
 
 void ThreadCluster::start_impl() {
-  started_ = true;
+  started_.store(true);
   for (size_t i = 0; i < servers_.size(); ++i) {
     net_->add_process(ProcessId::server(static_cast<uint32_t>(i)),
                       servers_[i].get());

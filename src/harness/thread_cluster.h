@@ -9,6 +9,7 @@
 // applications that want a ready-made deployment harness.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -44,8 +45,13 @@ class ThreadCluster {
 
   /// Spawns all threads; implicit on the first operation. Thread-safe and
   /// idempotent: concurrent first operations from several client threads
-  /// race here by design.
+  /// race here by design (std::call_once picks the winner).
   void start();
+
+  /// Stops the underlying network. Inherits ThreadNetwork::stop()'s
+  /// contract: idempotent, concurrent calls allowed (only the first does
+  /// the work), and must come from a client/owner thread -- never from a
+  /// protocol callback, which runs on a network-owned mailbox thread.
   void stop();
 
   /// Blocking operations; safe to call from one thread per client index.
@@ -70,7 +76,9 @@ class ThreadCluster {
   std::vector<std::unique_ptr<ReaderSlot>> readers_;
   std::vector<Bytes> initial_elements_;
   std::once_flag start_once_;
-  bool started_{false};
+  // Published by the call_once winner; read by set_byzantine's precondition
+  // assert, which may run on a different thread than the one that started.
+  std::atomic<bool> started_{false};
 };
 
 }  // namespace bftreg::harness

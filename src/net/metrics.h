@@ -2,7 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace bftreg::net {
 
@@ -18,32 +19,32 @@ struct MetricsSnapshot {
 class NetworkMetrics {
  public:
   void on_send(uint64_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++snap_.messages_sent;
     snap_.bytes_sent += bytes;
   }
   void on_deliver() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++snap_.messages_delivered;
   }
   void on_auth_failure() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++snap_.auth_failures;
   }
 
   MetricsSnapshot snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return snap_;
   }
 
   void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap_ = MetricsSnapshot{};
   }
 
  private:
-  mutable std::mutex mu_;
-  MetricsSnapshot snap_;
+  mutable Mutex mu_;
+  MetricsSnapshot snap_ GUARDED_BY(mu_);
 };
 
 }  // namespace bftreg::net

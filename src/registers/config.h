@@ -9,6 +9,22 @@
 
 namespace bftreg::registers {
 
+// Resilience bounds (the only place the `k*f + 1` literals may appear;
+// tools/bftreg_lint enforces that everything else calls these helpers, so a
+// bound can never silently drift from the paper's theorems).
+
+/// BSR needs n >= 4f + 1 (Theorems 2 and 5).
+constexpr size_t bsr_min_servers(size_t f) { return 4 * f + 1; }
+
+/// BCSR needs n >= 5f + 1 (Lemma 4 and Theorem 6).
+constexpr size_t bcsr_min_servers(size_t f) { return 5 * f + 1; }
+
+/// RB-based baseline needs n >= 3f + 1 (Bracha broadcast bound).
+constexpr size_t rb_min_servers(size_t f) { return 3 * f + 1; }
+
+/// Dimension k = n - 5f of BCSR's [n, k] MDS code (Section IV).
+constexpr size_t bcsr_code_dimension(size_t n, size_t f) { return n - 5 * f; }
+
 /// How a server maintains its list L of (tag, value) pairs.
 enum class StorePolicy : uint8_t {
   /// Fig. 3 verbatim: add (t_in, v_in) only when t_in exceeds every tag in
@@ -62,13 +78,13 @@ struct SystemConfig {
   }
 
   /// BSR resilience requirement (Theorems 2 and 5).
-  bool valid_for_bsr() const { return n >= 4 * f + 1; }
+  bool valid_for_bsr() const { return n >= bsr_min_servers(f); }
 
   /// BCSR resilience requirement (Lemma 4 and Theorem 6).
-  bool valid_for_bcsr() const { return n >= 5 * f + 1; }
+  bool valid_for_bcsr() const { return n >= bcsr_min_servers(f); }
 
   /// RB-based baseline requirement (Bracha broadcast bound).
-  bool valid_for_rb() const { return n >= 3 * f + 1; }
+  bool valid_for_rb() const { return n >= rb_min_servers(f); }
 };
 
 }  // namespace bftreg::registers

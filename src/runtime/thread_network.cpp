@@ -33,16 +33,28 @@ void ThreadNetwork::start() {
   }
 }
 
+bool ThreadNetwork::on_internal_thread() const {
+  const auto self = std::this_thread::get_id();
+  if (sched_thread_.joinable() && self == sched_thread_.get_id()) return true;
+  for (const auto& [pid, box] : boxes_) {
+    if (box->thread.joinable() && self == box->thread.get_id()) return true;
+  }
+  return false;
+}
+
 void ThreadNetwork::stop() {
   if (!running_.exchange(false)) return;
+  // Joining our own mailbox/scheduler thread would deadlock; stop() is an
+  // external-thread API (see header contract).
+  assert(!on_internal_thread() && "stop() called from a network-owned thread");
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    MutexLock lock(sched_mu_);
     sched_cv_.notify_all();
   }
   if (sched_thread_.joinable()) sched_thread_.join();
   for (auto& [pid, box] : boxes_) {
     {
-      std::lock_guard<std::mutex> lock(box->mu);
+      MutexLock lock(box->mu);
       box->cv.notify_all();
     }
     if (box->thread.joinable()) box->thread.join();
@@ -65,7 +77,7 @@ ThreadNetwork::Mailbox* ThreadNetwork::find(const ProcessId& pid) {
 }
 
 void ThreadNetwork::enqueue(Mailbox* box, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(box->mu);
+  MutexLock lock(box->mu);
   box->items.push_back(std::move(fn));
   box->cv.notify_one();
 }
@@ -74,8 +86,8 @@ void ThreadNetwork::mailbox_loop(Mailbox* box) {
   for (;;) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(box->mu);
-      box->cv.wait(lock, [&] { return !box->items.empty() || !running_.load(); });
+      MutexLock lock(box->mu);
+      while (box->items.empty() && running_.load()) box->cv.wait(lock);
       if (box->items.empty()) return;  // stopped and drained
       fn = std::move(box->items.front());
       box->items.pop_front();
@@ -97,14 +109,14 @@ void ThreadNetwork::send(const ProcessId& from, const ProcessId& to, Bytes paylo
 
   TimeNs d = 0;
   if (delay_) {
-    std::lock_guard<std::mutex> lock(rng_mu_);
+    MutexLock lock(rng_mu_);
     d = delay_->delay(env, rng_);
   }
   if (d == 0) {
     route(std::move(env));
     return;
   }
-  std::lock_guard<std::mutex> lock(sched_mu_);
+  MutexLock lock(sched_mu_);
   sched_queue_.push(Timed{now() + d, env.seq, std::move(env)});
   sched_cv_.notify_one();
 }
@@ -122,11 +134,11 @@ void ThreadNetwork::route(net::Envelope env) {
 }
 
 void ThreadNetwork::scheduler_loop() {
-  std::unique_lock<std::mutex> lock(sched_mu_);
+  MutexLock lock(sched_mu_);
   for (;;) {
     if (!running_.load() && sched_queue_.empty()) return;
     if (sched_queue_.empty()) {
-      sched_cv_.wait(lock, [&] { return !sched_queue_.empty() || !running_.load(); });
+      sched_cv_.wait(lock);
       continue;
     }
     const TimeNs due = sched_queue_.top().due;

@@ -6,21 +6,28 @@
 // code stays single-threaded), and a scheduler thread applies the configured
 // delay model before routing envelopes to destination mailboxes. Used by
 // the throughput/latency benches (E3) and the examples.
+//
+// Locking map (statically checked under clang -Wthread-safety):
+//   * Mailbox::mu guards the per-process item queue; the mailbox thread and
+//     any sender may contend on it.
+//   * sched_mu_ guards the delayed-delivery priority queue.
+//   * rng_mu_ guards the delay-model RNG (senders draw delays concurrently).
+// boxes_ itself is written only before start() and is read-only afterwards,
+// so lookups need no lock.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "crypto/auth.h"
 #include "net/delay.h"
@@ -50,7 +57,14 @@ class ThreadNetwork final : public net::Transport {
   /// Spawns mailbox threads and invokes on_start() on each of them.
   void start();
 
-  /// Drains mailboxes and joins all threads. Idempotent.
+  /// Drains mailboxes and joins all threads.
+  ///
+  /// Contract: idempotent -- only the first call (the winner of the
+  /// `running_` exchange) performs the shutdown; later or concurrent calls
+  /// return immediately without waiting for it to finish. Must be called
+  /// from an *external* thread (the owner or any client thread), never from
+  /// a mailbox or scheduler thread: stop() joins those threads and would
+  /// self-deadlock. Asserted in debug builds.
   void stop();
 
   void mark_crashed(const ProcessId& pid);
@@ -63,11 +77,11 @@ class ThreadNetwork final : public net::Transport {
 
  private:
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> items;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> items GUARDED_BY(mu);
     std::thread thread;
-    net::IProcess* process{nullptr};
+    net::IProcess* process{nullptr};  // set before start(), const afterwards
     std::atomic<bool> crashed{false};
   };
 
@@ -81,23 +95,25 @@ class ThreadNetwork final : public net::Transport {
   };
 
   void mailbox_loop(Mailbox* box);
-  void scheduler_loop();
+  void scheduler_loop() EXCLUDES(sched_mu_);
   void enqueue(Mailbox* box, std::function<void()> fn);
   void route(net::Envelope env);
   Mailbox* find(const ProcessId& pid);
+  bool on_internal_thread() const;
 
   crypto::Authenticator auth_;
   std::unique_ptr<net::DelayModel> delay_;
   net::NetworkMetrics metrics_;
   std::unordered_map<ProcessId, std::unique_ptr<Mailbox>> boxes_;
 
-  std::mutex sched_mu_;
-  std::condition_variable sched_cv_;
-  std::priority_queue<Timed, std::vector<Timed>, std::greater<>> sched_queue_;
+  Mutex sched_mu_;
+  CondVar sched_cv_;
+  std::priority_queue<Timed, std::vector<Timed>, std::greater<>> sched_queue_
+      GUARDED_BY(sched_mu_);
   std::thread sched_thread_;
 
-  std::mutex rng_mu_;
-  Rng rng_;
+  Mutex rng_mu_;
+  Rng rng_ GUARDED_BY(rng_mu_);
 
   std::atomic<uint64_t> next_seq_{0};
   std::atomic<bool> running_{false};

@@ -7,9 +7,9 @@
 #include <unistd.h>
 
 #include <cassert>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <utility>
 
 #include "common/log.h"
 #include "common/serde.h"
@@ -46,24 +46,26 @@ constexpr size_t kMaxFrame = 64 * 1024 * 1024;  // sanity cap: 64 MiB
 struct TcpNetwork::Endpoint {
   ProcessId pid;
   net::IProcess* process{nullptr};
-  int listen_fd{-1};
+  // Atomic: stop() publishes -1 while the accept thread is still reading it.
+  std::atomic<int> listen_fd{-1};
   uint16_t port{0};
 
   std::thread accept_thread;
-  std::vector<std::thread> conn_threads;
-  std::vector<int> conn_fds;  // accepted sockets, for shutdown on stop
-  std::mutex conn_mu;
+  Mutex conn_mu;
+  std::vector<std::thread> conn_threads GUARDED_BY(conn_mu);
+  // Accepted sockets, for shutdown on stop.
+  std::vector<int> conn_fds GUARDED_BY(conn_mu);
 
   // Mailbox serializing handler execution (same discipline as the other
   // runtimes: protocol code is single-threaded per process).
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::function<void()>> items;
+  Mutex mu;
+  CondVar cv;
+  std::deque<std::function<void()>> items GUARDED_BY(mu);
   std::thread mailbox_thread;
 
   // Cached outbound connections: destination -> fd.
-  std::mutex out_mu;
-  std::map<ProcessId, int> out_fds;
+  Mutex out_mu;
+  std::map<ProcessId, int> out_fds GUARDED_BY(out_mu);
 };
 
 TcpNetwork::TcpNetwork(TcpConfig config)
@@ -95,25 +97,26 @@ void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
   ep->pid = pid;
   ep->process = process;
 
-  ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  assert(ep->listen_fd >= 0);
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  assert(listen_fd >= 0);
   int one = 1;
-  ::setsockopt(ep->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = ::inet_addr(config_.host);
   addr.sin_port = 0;  // ephemeral
   [[maybe_unused]] int rc =
-      ::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   assert(rc == 0);
-  rc = ::listen(ep->listen_fd, 64);
+  rc = ::listen(listen_fd, 64);
   assert(rc == 0);
 
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  ::getsockname(ep->listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
   ep->port = ntohs(bound.sin_port);
+  ep->listen_fd.store(listen_fd);
 
   endpoints_[pid] = std::move(ep);
 }
@@ -128,33 +131,56 @@ void TcpNetwork::start() {
   }
 }
 
+bool TcpNetwork::on_internal_thread() const {
+  const auto self = std::this_thread::get_id();
+  for (const auto& [pid, ep] : endpoints_) {
+    if (ep->accept_thread.joinable() && self == ep->accept_thread.get_id())
+      return true;
+    if (ep->mailbox_thread.joinable() && self == ep->mailbox_thread.get_id())
+      return true;
+  }
+  return false;
+}
+
 void TcpNetwork::stop() {
   if (!running_.exchange(false)) return;
+  // Joining our own accept/mailbox thread would deadlock; stop() is an
+  // external-thread API (see header contract). Connection threads only
+  // enqueue into mailboxes, so a handler never reaches stop() either.
+  assert(!on_internal_thread() && "stop() called from a network-owned thread");
   for (auto& [pid, ep] : endpoints_) {
     // Shut the listener; accept() wakes with an error and the loop exits.
-    if (ep->listen_fd >= 0) {
-      ::shutdown(ep->listen_fd, SHUT_RDWR);
-      ::close(ep->listen_fd);
-      ep->listen_fd = -1;
+    const int listen_fd = ep->listen_fd.exchange(-1);
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
     }
     {
-      std::lock_guard<std::mutex> lock(ep->out_mu);
+      MutexLock lock(ep->out_mu);
       for (auto& [to, fd] : ep->out_fds) ::close(fd);
       ep->out_fds.clear();
     }
     // Wake connection threads blocked in recv().
     {
-      std::lock_guard<std::mutex> lock(ep->conn_mu);
+      MutexLock lock(ep->conn_mu);
       for (int fd : ep->conn_fds) ::shutdown(fd, SHUT_RDWR);
     }
   }
   for (auto& [pid, ep] : endpoints_) {
     if (ep->accept_thread.joinable()) ep->accept_thread.join();
-    for (auto& t : ep->conn_threads) {
+    // The accept thread is joined, so no further connection threads can be
+    // added; move them out under the lock and join outside it.
+    std::vector<std::thread> conns;
+    {
+      MutexLock lock(ep->conn_mu);
+      conns = std::move(ep->conn_threads);
+      ep->conn_threads.clear();
+    }
+    for (auto& t : conns) {
       if (t.joinable()) t.join();
     }
     {
-      std::lock_guard<std::mutex> lock(ep->mu);
+      MutexLock lock(ep->mu);
       ep->cv.notify_all();
     }
     if (ep->mailbox_thread.joinable()) ep->mailbox_thread.join();
@@ -162,7 +188,7 @@ void TcpNetwork::stop() {
 }
 
 void TcpNetwork::enqueue(Endpoint* ep, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(ep->mu);
+  MutexLock lock(ep->mu);
   ep->items.push_back(std::move(fn));
   ep->cv.notify_one();
 }
@@ -171,8 +197,8 @@ void TcpNetwork::mailbox_loop(Endpoint* ep) {
   for (;;) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(ep->mu);
-      ep->cv.wait(lock, [&] { return !ep->items.empty() || !running_.load(); });
+      MutexLock lock(ep->mu);
+      while (ep->items.empty() && running_.load()) ep->cv.wait(lock);
       if (ep->items.empty()) return;
       fn = std::move(ep->items.front());
       ep->items.pop_front();
@@ -183,9 +209,11 @@ void TcpNetwork::mailbox_loop(Endpoint* ep) {
 
 void TcpNetwork::accept_loop(Endpoint* ep) {
   for (;;) {
-    const int fd = ::accept(ep->listen_fd, nullptr, nullptr);
+    const int listen_fd = ep->listen_fd.load();
+    if (listen_fd < 0) return;  // stop() already closed the listener
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) return;  // listener closed
-    std::lock_guard<std::mutex> lock(ep->conn_mu);
+    MutexLock lock(ep->conn_mu);
     ep->conn_fds.push_back(fd);
     ep->conn_threads.emplace_back([this, ep, fd] { connection_loop(ep, fd); });
   }
@@ -267,7 +295,7 @@ void TcpNetwork::send(const ProcessId& from, const ProcessId& to, Bytes payload)
   const Bytes frame = seal_frame(auth_, from, to, payload);
   metrics_.on_send(payload.size());
 
-  std::lock_guard<std::mutex> lock(src->out_mu);
+  MutexLock lock(src->out_mu);
   auto it = src->out_fds.find(to);
   if (it == src->out_fds.end()) {
     const int fd = connect_to(to);

@@ -18,11 +18,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "crypto/auth.h"
 #include "net/transport.h"
@@ -51,7 +51,14 @@ class TcpNetwork final : public net::Transport {
   /// process (on its mailbox thread, like the other runtimes).
   void start();
 
-  /// Closes sockets and joins all threads. Idempotent.
+  /// Closes sockets and joins all threads.
+  ///
+  /// Contract: idempotent -- only the first call (the winner of the
+  /// `running_` exchange) performs the shutdown; later or concurrent calls
+  /// return immediately without waiting for it to finish. Must be called
+  /// from an *external* thread (the owner or any client thread), never from
+  /// a mailbox, accept, or connection thread: stop() joins those threads
+  /// and would self-deadlock. Asserted in debug builds.
   void stop();
 
   /// The port a process listens on (for logging / external tooling).
@@ -72,6 +79,7 @@ class TcpNetwork final : public net::Transport {
   void enqueue(Endpoint* ep, std::function<void()> fn);
   int connect_to(const ProcessId& to);
   Endpoint* find(const ProcessId& pid);
+  bool on_internal_thread() const;
 
   /// Frame: [u32 length][from pid (5)][to pid (5)][u64 mac][payload].
   static Bytes seal_frame(const crypto::Authenticator& auth, const ProcessId& from,

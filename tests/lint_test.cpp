@@ -1,0 +1,157 @@
+// Unit fixture for tools/bftreg_lint: each banned pattern is demonstrated
+// on a synthetic source, and each waiver/exemption path is exercised.
+#include "tools/lint_rules.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bftreg::lint {
+namespace {
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+TEST(LintRawThread, FlaggedOutsideRuntimeDirs) {
+  const std::string src = "#include <thread>\nstd::thread t([]{});\n";
+  const auto vs = lint_content("src/registers/bsr_reader.cpp", src);
+  ASSERT_TRUE(has_rule(vs, "raw-thread"));
+  EXPECT_EQ(vs.front().line, 2);
+}
+
+TEST(LintRawThread, AllowedInRuntimeSocknetHarness) {
+  const std::string src = "std::thread t([]{});\n";
+  EXPECT_FALSE(has_rule(lint_content("src/runtime/thread_network.cpp", src),
+                        "raw-thread"));
+  EXPECT_FALSE(
+      has_rule(lint_content("src/socknet/tcp_network.cpp", src), "raw-thread"));
+  EXPECT_FALSE(
+      has_rule(lint_content("src/harness/thread_cluster.cpp", src), "raw-thread"));
+}
+
+TEST(LintRawThread, CommentedMentionNotFlagged) {
+  const std::string src = "// std::thread is banned here\nint x;\n";
+  EXPECT_FALSE(has_rule(lint_content("src/registers/server.cpp", src), "raw-thread"));
+}
+
+TEST(LintDetach, FlaggedEverywhereEvenRuntime) {
+  const std::string src = "std::thread t([]{});\nt.detach();\n";
+  const auto vs = lint_content("src/runtime/thread_network.cpp", src);
+  ASSERT_TRUE(has_rule(vs, "detach"));
+}
+
+TEST(LintRawRandom, RandAndRandomDeviceFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/workload/workload.cpp", "int x = rand();\n"), "raw-random"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/workload/workload.cpp", "srand(42);\n"), "raw-random"));
+  EXPECT_TRUE(
+      has_rule(lint_content("src/workload/workload.cpp", "std::random_device rd;\n"),
+               "raw-random"));
+}
+
+TEST(LintRawRandom, RngHeaderExemptAndIdentifiersNotFlagged) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/common/rng.h", "std::random_device rd;\n"), "raw-random"));
+  // Identifiers merely containing "rand" are not calls to rand().
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sim/simulator.cpp", "auto v = uniform_rand(9);\n"),
+      "raw-random"));
+}
+
+TEST(LintUnguardedMutex, MutexWithoutCompanionFlagged) {
+  const std::string src =
+      "class Q {\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int items_;\n"
+      "};\n";
+  const auto vs = lint_content("src/registers/quorum.h", src);
+  ASSERT_TRUE(has_rule(vs, "unguarded-mutex"));
+  EXPECT_EQ(vs.front().line, 3);
+}
+
+TEST(LintUnguardedMutex, GuardedCompanionSatisfiesRule) {
+  const std::string src =
+      "class Q {\n"
+      "  Mutex mu_;\n"
+      "  int items_ GUARDED_BY(mu_);\n"
+      "};\n";
+  EXPECT_FALSE(has_rule(lint_content("src/registers/quorum.h", src),
+                        "unguarded-mutex"));
+}
+
+TEST(LintUnguardedMutex, WrapperAndStdMutexBothMatched) {
+  EXPECT_TRUE(has_rule(lint_content("src/net/x.h", "Mutex lone_;\n"),
+                       "unguarded-mutex"));
+  EXPECT_TRUE(has_rule(lint_content("src/net/x.h", "mutable std::mutex lone_;\n"),
+                       "unguarded-mutex"));
+}
+
+TEST(LintResilienceLiteral, FlaggedOutsideConfig) {
+  const auto vs =
+      lint_content("src/registers/server.cpp", "size_t q = 4 * f + 1;\n");
+  ASSERT_TRUE(has_rule(vs, "resilience-literal"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/codec/mds_code.cpp", "size_t k = n - 5*f;\n"),
+      "resilience-literal"));
+  EXPECT_TRUE(has_rule(lint_content("src/harness/sim_cluster.cpp",
+                                    "return f * 3 + 1;\n"),
+                       "resilience-literal"));
+}
+
+TEST(LintResilienceLiteral, ConfigHeaderExempt) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/registers/config.h", "return 4 * f + 1;\n"),
+      "resilience-literal"));
+}
+
+TEST(LintResilienceLiteral, UnrelatedArithmeticNotFlagged) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/codec/rs.cpp", "size_t bytes = 4 * frames;\n"),
+      "resilience-literal"));
+  // Schedule constructions slice index ranges with 2*f; only the protocol
+  // bound multipliers 3/4/5 are reserved for config.h.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/harness/scenarios.cpp", "withhold_put(1, f, 2 * f);\n"),
+      "resilience-literal"));
+}
+
+TEST(LintWaiver, SameLineAndPreviousLineWaive) {
+  const std::string same =
+      "std::mutex g;  // bftreg-lint: allow(unguarded-mutex) guards stderr\n";
+  EXPECT_FALSE(has_rule(lint_content("src/common/x.cpp", same), "unguarded-mutex"));
+
+  const std::string prev =
+      "// bftreg-lint: allow(unguarded-mutex) guards stderr\n"
+      "std::mutex g;\n";
+  EXPECT_FALSE(has_rule(lint_content("src/common/x.cpp", prev), "unguarded-mutex"));
+}
+
+TEST(LintWaiver, WaiverIsRuleSpecific) {
+  const std::string src =
+      "// bftreg-lint: allow(raw-thread) wrong rule named\n"
+      "std::mutex g;\n";
+  EXPECT_TRUE(has_rule(lint_content("src/common/x.cpp", src), "unguarded-mutex"));
+}
+
+TEST(LintFormat, CompilerStyleOutput) {
+  const Violation v{"src/a.cpp", 7, "detach", "msg"};
+  EXPECT_EQ(format(v), "src/a.cpp:7: [detach] msg");
+}
+
+// The real tree must be clean -- this is the same check the ctest
+// registration of the bftreg_lint binary performs, kept here too so a
+// plain `ctest -R lint` covers both the rules and the tree.
+TEST(LintTree, RepoSourcesAreClean) {
+  const char* root = std::getenv("BFTREG_REPO_ROOT");
+  if (root == nullptr) GTEST_SKIP() << "BFTREG_REPO_ROOT not set";
+  const auto vs = lint_tree(root);
+  for (const auto& v : vs) ADD_FAILURE() << format(v);
+}
+
+}  // namespace
+}  // namespace bftreg::lint

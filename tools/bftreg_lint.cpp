@@ -1,0 +1,31 @@
+// bftreg_lint: project-specific static checks over src/.
+//
+// Usage: bftreg_lint [repo_root]   (default: current directory)
+//
+// Exit code 0 when clean, 1 on violations, 2 on I/O errors. Registered as
+// the `bftreg_lint` ctest test so `ctest` fails when a banned pattern lands;
+// the rule list and the waiver syntax are documented in tools/lint_rules.h
+// and docs/ANALYSIS.md.
+#include <cstdio>
+#include <exception>
+
+#include "tools/lint_rules.h"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  try {
+    const auto violations = bftreg::lint::lint_tree(root);
+    for (const auto& v : violations) {
+      std::fprintf(stderr, "%s\n", bftreg::lint::format(v).c_str());
+    }
+    if (!violations.empty()) {
+      std::fprintf(stderr, "bftreg_lint: %zu violation(s)\n", violations.size());
+      return 1;
+    }
+    std::printf("bftreg_lint: clean\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bftreg_lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run over the first-party sources.
+#
+# Usage: tools/check_format.sh [repo_root]
+# Exit codes: 0 clean, 1 formatting violations, 77 clang-format unavailable
+# (ctest maps 77 to SKIPPED via SKIP_RETURN_CODE so offline environments
+# without the tool do not fail the suite).
+set -u
+
+root="${1:-.}"
+cd "$root" || exit 2
+
+fmt="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$fmt" >/dev/null 2>&1; then
+  echo "check_format: $fmt not found; skipping" >&2
+  exit 77
+fi
+
+files=$(find src tests bench tools examples \
+  \( -name '*.h' -o -name '*.cpp' \) -type f 2>/dev/null | sort)
+if [ -z "$files" ]; then
+  echo "check_format: no sources found under $root" >&2
+  exit 2
+fi
+
+# shellcheck disable=SC2086
+if "$fmt" --dry-run -Werror $files; then
+  echo "check_format: clean"
+  exit 0
+else
+  echo "check_format: run '$fmt -i' on the files above" >&2
+  exit 1
+fi

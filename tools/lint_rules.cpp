@@ -1,0 +1,169 @@
+#include "tools/lint_rules.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace bftreg::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool thread_allowed(const std::string& path) {
+  return starts_with(path, "src/runtime/") || starts_with(path, "src/socknet/") ||
+         starts_with(path, "src/harness/");
+}
+
+/// Strips // and /* */ comments (tracking block state across lines) so the
+/// pattern rules see only code. Waiver detection runs on the raw line.
+std::string strip_comments(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    if (line[i] == '/' && i + 1 < line.size()) {
+      if (line[i + 1] == '/') break;  // rest of line is a comment
+      if (line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+    }
+    out.push_back(line[i]);
+  }
+  return out;
+}
+
+bool waived(const std::vector<std::string>& raw_lines, size_t idx,
+            const std::string& rule) {
+  const std::string needle = "bftreg-lint: allow(" + rule + ")";
+  if (raw_lines[idx].find(needle) != std::string::npos) return true;
+  return idx > 0 && raw_lines[idx - 1].find(needle) != std::string::npos;
+}
+
+const std::regex kRawThread(R"(\bstd\s*::\s*thread\b)");
+const std::regex kDetach(R"(\.\s*detach\s*\()");
+const std::regex kRandCall(R"((^|[^0-9A-Za-z_])s?rand\s*\()");
+const std::regex kRandomDevice(R"(\bstd\s*::\s*random_device\b)");
+// `std::mutex name;` / `Mutex name;` / `mutable std::shared_mutex name{};`
+const std::regex kMutexMember(
+    R"(^\s*(?:mutable\s+)?(?:std\s*::\s*(?:shared_)?mutex|Mutex)\s+([A-Za-z_]\w*)\s*(?:\{\s*\})?\s*;)");
+// Resilience arithmetic: `3|4|5 * f` in either operand order. Deliberately
+// not `\d+`: schedule constructions legitimately slice index ranges like
+// `2 * f`, while 3/4/5 are exactly the protocol bounds (3f+1 RB, 4f+1 BSR,
+// 5f+1 BCSR) that must live in config.h.
+const std::regex kResilienceLiteral(R"(\b[345]\s*\*\s*f\b|\bf\s*\*\s*[345]\b)");
+
+}  // namespace
+
+std::vector<Violation> lint_content(const std::string& rel_path,
+                                    const std::string& content) {
+  std::vector<Violation> out;
+
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) raw_lines.push_back(line);
+  }
+
+  std::vector<std::string> code_lines;
+  code_lines.reserve(raw_lines.size());
+  bool in_block = false;
+  for (const auto& line : raw_lines) {
+    code_lines.push_back(strip_comments(line, in_block));
+  }
+
+  auto flag = [&](size_t idx, const std::string& rule, const std::string& message) {
+    if (waived(raw_lines, idx, rule)) return;
+    out.push_back(Violation{rel_path, static_cast<int>(idx) + 1, rule, message});
+  };
+
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& code = code_lines[i];
+    if (code.empty()) continue;
+
+    if (!thread_allowed(rel_path) && std::regex_search(code, kRawThread)) {
+      flag(i, "raw-thread",
+           "std::thread outside src/runtime, src/socknet, src/harness; "
+           "protocol code must stay single-threaded per process");
+    }
+    if (std::regex_search(code, kDetach)) {
+      flag(i, "detach",
+           "detached threads outlive their transport; join via stop() instead");
+    }
+    if (rel_path != "src/common/rng.h" &&
+        (std::regex_search(code, kRandCall) ||
+         std::regex_search(code, kRandomDevice))) {
+      flag(i, "raw-random",
+           "unseeded randomness breaks replayability; draw from bftreg::Rng "
+           "(src/common/rng.h)");
+    }
+    std::smatch m;
+    if (std::regex_search(code, m, kMutexMember)) {
+      const std::string name = m[1].str();
+      const std::string companion = "GUARDED_BY(" + name + ")";
+      if (content.find(companion) == std::string::npos) {
+        flag(i, "unguarded-mutex",
+             "mutex member '" + name + "' has no " + companion +
+                 " companion field; write down what the lock protects");
+      }
+    }
+    if (rel_path != "src/registers/config.h" &&
+        std::regex_search(code, kResilienceLiteral)) {
+      flag(i, "resilience-literal",
+           "resilience bound arithmetic belongs in src/registers/config.h "
+           "(use bsr_min_servers/bcsr_min_servers/rb_min_servers/"
+           "bcsr_code_dimension)");
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> lint_tree(const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  const fs::path root(repo_root);
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    throw std::runtime_error("no src/ directory under " + repo_root);
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> out;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + path.string());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::relative(path, root).generic_string();  // forward slashes
+    auto found = lint_content(rel, buf.str());
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+std::string format(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " + v.message;
+}
+
+}  // namespace bftreg::lint

@@ -1,0 +1,53 @@
+// Project-specific lint rules for bftreg (see tools/bftreg_lint.cpp for the
+// CLI driver and tests/lint_test.cpp for the fixture).
+//
+// The rules encode conventions that the compiler cannot check but that the
+// protocol correctness argument leans on:
+//
+//   raw-thread          std::thread outside src/runtime, src/socknet,
+//                       src/harness -- protocol code must stay
+//                       single-threaded per process; only the transports
+//                       and the harness may spawn threads.
+//   detach              .detach() anywhere -- detached threads outlive
+//                       their network and turn shutdown into a race.
+//   raw-random          rand()/srand()/std::random_device outside
+//                       src/common/rng.h -- all randomness must flow
+//                       through the seeded Rng so executions replay.
+//   unguarded-mutex     a mutex member with no GUARDED_BY(name) companion
+//                       in the same file -- every lock must write down what
+//                       it protects.
+//   resilience-literal  `k * f` resilience arithmetic outside
+//                       src/registers/config.h -- the 4f+1 / 5f+1 / 3f+1
+//                       bounds live in exactly one place.
+//
+// A finding can be waived by putting `bftreg-lint: allow(<rule>)` in a
+// comment on the offending line or the line directly above it, with a
+// justification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bftreg::lint {
+
+struct Violation {
+  std::string file;  // path as given to lint_content (repo-relative)
+  int line{0};       // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Runs every rule over one file's contents. `rel_path` must be
+/// repo-relative with forward slashes (e.g. "src/codec/rs.cpp") -- the
+/// path-scoped rules key off it.
+std::vector<Violation> lint_content(const std::string& rel_path,
+                                    const std::string& content);
+
+/// Scans `<repo_root>/src` recursively for .h/.cpp files and lints each.
+/// Returns all violations; I/O errors throw std::runtime_error.
+std::vector<Violation> lint_tree(const std::string& repo_root);
+
+/// "path:line: [rule] message" -- one line, compiler-style.
+std::string format(const Violation& v);
+
+}  // namespace bftreg::lint
