@@ -6,6 +6,7 @@
 // (n/k) x value_size while BSR's are n x value_size, with the per-element
 // overhead (header + tags) fading as values grow.
 #include "bench_util.h"
+#include "codec/gf_region.h"
 
 using namespace bftreg;
 using namespace bftreg::bench;
@@ -49,7 +50,11 @@ CostRow run_cost(harness::Protocol protocol, size_t n, size_t f,
 
 int main() {
   std::printf("E4: storage & communication cost, replication vs MDS coding\n");
-  std::printf("f = 1; BSR n = 5; BCSR n = 11 => k = n-5f = 6, n/k = 1.83\n\n");
+  std::printf("f = 1; BSR n = 5; BCSR n = 11 => k = n-5f = 6, n/k = 1.83\n");
+  // The cost ratios are kernel-independent, but wall-clock is not; record
+  // which gf_region kernel encoded the BCSR elements for reproducibility.
+  std::printf("codec kernel: %s\n\n",
+              codec::gf::kernel_name(codec::gf::active_kernel()));
 
   TextTable table({"value size", "protocol", "stored/version", "norm (x value)",
                    "write bytes", "read bytes", "theory"});

@@ -1,0 +1,364 @@
+#include "codec/gf_region.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "codec/gf256.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define BFTREG_GF_X86 1
+#include <immintrin.h>
+#else
+#define BFTREG_GF_X86 0
+#endif
+
+namespace bftreg::codec::gf {
+
+namespace {
+
+// ------------------------------------------------------------ split tables
+//
+// For every constant c, two 16-entry product tables:
+//   lo[x] = c * x          (x = low nibble)
+//   hi[x] = c * (x << 4)   (x = high nibble)
+// so c * b = lo[b & 15] ^ hi[b >> 4]. 8 KiB total, built once; the same
+// tables feed the scalar kernel and the pshufb shuffles.
+struct alignas(16) SplitTable {
+  uint8_t lo[16];
+  uint8_t hi[16];
+};
+
+struct SplitTables {
+  SplitTable t[256];
+
+  SplitTables() {
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned x = 0; x < 16; ++x) {
+        t[c].lo[x] = mul(static_cast<uint8_t>(c), static_cast<uint8_t>(x));
+        t[c].hi[x] = mul(static_cast<uint8_t>(c), static_cast<uint8_t>(x << 4));
+      }
+    }
+  }
+};
+
+const SplitTable& split_table(uint8_t c) {
+  static const SplitTables tables;
+  return tables.t[c];
+}
+
+// --------------------------------------------------------------- scalar
+void mul_region_scalar(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  const SplitTable& t = split_table(c);
+  for (size_t i = 0; i < len; ++i) {
+    dst[i] = static_cast<uint8_t>(t.lo[src[i] & 0x0f] ^ t.hi[src[i] >> 4]);
+  }
+}
+
+void mul_add_region_scalar(uint8_t* dst, const uint8_t* src, uint8_t c,
+                           size_t len) {
+  const SplitTable& t = split_table(c);
+  for (size_t i = 0; i < len; ++i) {
+    dst[i] = static_cast<uint8_t>(dst[i] ^ t.lo[src[i] & 0x0f] ^ t.hi[src[i] >> 4]);
+  }
+}
+
+// ----------------------------------------------------------------- SWAR
+//
+// Eight byte lanes per 64-bit word: shift-and-add in the constant's bits
+// with per-lane reduction by the primitive polynomial 0x11D (the lane's
+// overflow bit, replicated down, selects the 0x1D feedback). Branch-free.
+constexpr uint64_t kHiBits = 0x8080808080808080ull;
+constexpr uint64_t kLoSeven = 0xfefefefefefefefeull;
+
+inline uint64_t mul_word_swar(uint64_t v, uint8_t c) {
+  uint64_t acc = 0;
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    const uint64_t take = 0ull - static_cast<uint64_t>((c >> bit) & 1);
+    acc ^= v & take;
+    const uint64_t over = v & kHiBits;
+    v = ((v << 1) & kLoSeven) ^ ((over >> 7) * 0x1dull);
+  }
+  return acc;
+}
+
+void mul_region_swar(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t v;
+    std::memcpy(&v, src + i, 8);
+    const uint64_t r = mul_word_swar(v, c);
+    std::memcpy(dst + i, &r, 8);
+  }
+  if (i < len) mul_region_scalar(dst + i, src + i, c, len - i);
+}
+
+void mul_add_region_swar(uint8_t* dst, const uint8_t* src, uint8_t c,
+                         size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t v;
+    uint64_t d;
+    std::memcpy(&v, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= mul_word_swar(v, c);
+    std::memcpy(dst + i, &d, 8);
+  }
+  if (i < len) mul_add_region_scalar(dst + i, src + i, c, len - i);
+}
+
+// ---------------------------------------------------------------- SSSE3
+#if BFTREG_GF_X86
+
+__attribute__((target("ssse3"))) void mul_region_ssse3(uint8_t* dst,
+                                                       const uint8_t* src,
+                                                       uint8_t c, size_t len) {
+  const SplitTable& t = split_table(c);
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+    const __m128i r =
+        _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), r);
+  }
+  if (i < len) mul_region_scalar(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("ssse3"))) void mul_add_region_ssse3(uint8_t* dst,
+                                                           const uint8_t* src,
+                                                           uint8_t c,
+                                                           size_t len) {
+  const SplitTable& t = split_table(c);
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+    const __m128i r =
+        _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, r));
+  }
+  if (i < len) mul_add_region_scalar(dst + i, src + i, c, len - i);
+}
+
+// ----------------------------------------------------------------- AVX2
+__attribute__((target("avx2"))) void mul_region_avx2(uint8_t* dst,
+                                                     const uint8_t* src,
+                                                     uint8_t c, size_t len) {
+  const SplitTable& t = split_table(c);
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), mask);
+    const __m256i r = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                       _mm256_shuffle_epi8(thi, hi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+  }
+  if (i < len) mul_region_ssse3(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("avx2"))) void mul_add_region_avx2(uint8_t* dst,
+                                                         const uint8_t* src,
+                                                         uint8_t c,
+                                                         size_t len) {
+  const SplitTable& t = split_table(c);
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), mask);
+    const __m256i r = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                                       _mm256_shuffle_epi8(thi, hi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, r));
+  }
+  if (i < len) mul_add_region_ssse3(dst + i, src + i, c, len - i);
+}
+
+#endif  // BFTREG_GF_X86
+
+// -------------------------------------------------------------- dispatch
+
+RegionKernel detect_kernel() {
+#if BFTREG_GF_X86
+  if (__builtin_cpu_supports("avx2")) return RegionKernel::kAvx2;
+  if (__builtin_cpu_supports("ssse3")) return RegionKernel::kSsse3;
+#endif
+  return RegionKernel::kSwar;
+}
+
+RegionKernel initial_kernel() {
+  RegionKernel best = detect_kernel();
+  if (const char* env = std::getenv("BFTREG_GF_KERNEL")) {
+    const std::string want(env);
+    RegionKernel forced = best;
+    if (want == "scalar") {
+      forced = RegionKernel::kScalar;
+    } else if (want == "swar") {
+      forced = RegionKernel::kSwar;
+    } else if (want == "ssse3") {
+      forced = RegionKernel::kSsse3;
+    } else if (want == "avx2") {
+      forced = RegionKernel::kAvx2;
+    } else if (want != "auto" && !want.empty()) {
+      std::fprintf(stderr,
+                   "bftreg: unknown BFTREG_GF_KERNEL '%s' (want "
+                   "auto|scalar|swar|ssse3|avx2); using %s\n",
+                   env, kernel_name(best));
+      return best;
+    }
+    if (kernel_available(forced)) return forced;
+    std::fprintf(stderr,
+                 "bftreg: BFTREG_GF_KERNEL=%s unavailable on this CPU; "
+                 "using %s\n",
+                 env, kernel_name(best));
+  }
+  return best;
+}
+
+std::atomic<RegionKernel>& kernel_slot() {
+  static std::atomic<RegionKernel> slot{initial_kernel()};
+  return slot;
+}
+
+}  // namespace
+
+const char* kernel_name(RegionKernel k) {
+  switch (k) {
+    case RegionKernel::kScalar: return "scalar";
+    case RegionKernel::kSwar: return "swar";
+    case RegionKernel::kSsse3: return "ssse3";
+    case RegionKernel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool kernel_available(RegionKernel k) {
+  switch (k) {
+    case RegionKernel::kScalar:
+    case RegionKernel::kSwar:
+      return true;
+    case RegionKernel::kSsse3:
+#if BFTREG_GF_X86
+      return __builtin_cpu_supports("ssse3") != 0;
+#else
+      return false;
+#endif
+    case RegionKernel::kAvx2:
+#if BFTREG_GF_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+RegionKernel active_kernel() {
+  return kernel_slot().load(std::memory_order_relaxed);
+}
+
+bool force_kernel(RegionKernel k) {
+  if (!kernel_available(k)) return false;
+  kernel_slot().store(k, std::memory_order_relaxed);
+  return true;
+}
+
+void reset_kernel() {
+  kernel_slot().store(initial_kernel(), std::memory_order_relaxed);
+}
+
+void mul_region_as(RegionKernel k, uint8_t* dst, const uint8_t* src, uint8_t c,
+                   size_t len) {
+  assert(kernel_available(k));
+  switch (k) {
+    case RegionKernel::kScalar: mul_region_scalar(dst, src, c, len); return;
+    case RegionKernel::kSwar: mul_region_swar(dst, src, c, len); return;
+#if BFTREG_GF_X86
+    case RegionKernel::kSsse3: mul_region_ssse3(dst, src, c, len); return;
+    case RegionKernel::kAvx2: mul_region_avx2(dst, src, c, len); return;
+#else
+    default: mul_region_swar(dst, src, c, len); return;
+#endif
+  }
+}
+
+void mul_add_region_as(RegionKernel k, uint8_t* dst, const uint8_t* src,
+                       uint8_t c, size_t len) {
+  assert(kernel_available(k));
+  switch (k) {
+    case RegionKernel::kScalar: mul_add_region_scalar(dst, src, c, len); return;
+    case RegionKernel::kSwar: mul_add_region_swar(dst, src, c, len); return;
+#if BFTREG_GF_X86
+    case RegionKernel::kSsse3: mul_add_region_ssse3(dst, src, c, len); return;
+    case RegionKernel::kAvx2: mul_add_region_avx2(dst, src, c, len); return;
+#else
+    default: mul_add_region_swar(dst, src, c, len); return;
+#endif
+  }
+}
+
+void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  if (len == 0) return;
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memcpy(dst, src, len);
+    return;
+  }
+  mul_region_as(active_kernel(), dst, src, c, len);
+}
+
+void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  if (len == 0 || c == 0) return;
+  if (c == 1) {
+    add_region(dst, src, len);
+    return;
+  }
+  mul_add_region_as(active_kernel(), dst, src, c, len);
+}
+
+void add_region(uint8_t* dst, const uint8_t* src, size_t len) {
+  // Plain per-lane xor; every compiler autovectorizes this.
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t a;
+    uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < len; ++i) dst[i] = static_cast<uint8_t>(dst[i] ^ src[i]);
+}
+
+}  // namespace bftreg::codec::gf

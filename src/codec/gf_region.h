@@ -1,0 +1,74 @@
+// Bulk GF(2^8) region operations: the codec hot path.
+//
+// The byte-at-a-time log/antilog multiply in gf256.h is fine for the
+// Berlekamp-Welch slow path, but encode and the erasure fast path spend
+// all their time computing dst ^= c * src over whole coded elements. This
+// header provides that as a region primitive with three kernel tiers:
+//
+//   kScalar  portable 4-bit split-table: two 16-entry tables per constant
+//            (low nibble / high nibble products), two loads + one xor per
+//            byte, no data-dependent branches.
+//   kSwar    portable 64-bit SWAR: eight bytes per step via the classic
+//            shift-and-reduce carryless multiply (reduction by 0x11D),
+//            branch-free in the constant's bits.
+//   kSsse3   SSSE3 `pshufb`: the split tables ARE shuffle tables, so one
+//            16-byte step is two shuffles + two ands + one xor (the ISA-L
+//            technique).
+//   kAvx2    the same kernel widened to 32 bytes with `vpshufb`.
+//
+// Dispatch picks the widest kernel the CPU supports at first use; the
+// BFTREG_GF_KERNEL environment variable (auto|scalar|swar|ssse3|avx2)
+// overrides it so CI can exercise every tier, and force_kernel() does the
+// same programmatically for differential tests. All kernels produce
+// bit-identical output -- GF arithmetic is exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bftreg::codec::gf {
+
+enum class RegionKernel : uint8_t {
+  kScalar = 0,
+  kSwar = 1,
+  kSsse3 = 2,
+  kAvx2 = 3,
+};
+
+/// "scalar" / "swar" / "ssse3" / "avx2".
+const char* kernel_name(RegionKernel k);
+
+/// True iff this CPU can run kernel `k`.
+bool kernel_available(RegionKernel k);
+
+/// The kernel region ops currently dispatch to (after the BFTREG_GF_KERNEL
+/// override and any force_kernel() call).
+RegionKernel active_kernel();
+
+/// Forces dispatch to `k` (testing / CI). Returns false and leaves the
+/// selection unchanged if `k` is not available on this CPU. Not
+/// synchronized with concurrent region calls -- call it from single-threaded
+/// setup code only.
+bool force_kernel(RegionKernel k);
+
+/// Re-runs auto-selection (CPU detection + BFTREG_GF_KERNEL).
+void reset_kernel();
+
+/// dst[i] = c * src[i] for i in [0, len). dst == src is allowed; partial
+/// overlap is not.
+void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
+
+/// dst[i] ^= c * src[i] for i in [0, len). dst and src must not overlap.
+void mul_add_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
+
+/// dst[i] ^= src[i] (the c == 1 special case; addition in GF(2^8)).
+void add_region(uint8_t* dst, const uint8_t* src, size_t len);
+
+/// Runs the op through one specific kernel regardless of dispatch state
+/// (differential testing). Precondition: kernel_available(k).
+void mul_region_as(RegionKernel k, uint8_t* dst, const uint8_t* src, uint8_t c,
+                   size_t len);
+void mul_add_region_as(RegionKernel k, uint8_t* dst, const uint8_t* src,
+                       uint8_t c, size_t len);
+
+}  // namespace bftreg::codec::gf

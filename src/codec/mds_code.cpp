@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <map>
 
 #include "codec/gf256.h"
+#include "codec/gf_region.h"
 #include "common/types.h"
 #include "registers/config.h"
 
@@ -12,10 +14,43 @@ namespace bftreg::codec {
 
 namespace {
 
-constexpr size_t kHeaderBytes = 8;  // u32 length + u32 checksum
-
 uint32_t value_checksum(const Bytes& v) {
   return static_cast<uint32_t>(fnv1a64(v.data(), v.size()) & 0xffffffffu);
+}
+
+/// Padded-payload scratch reused across encode calls on the same thread
+/// (writers encode every PUT-DATA; the buffer stabilizes at the largest
+/// value seen instead of reallocating per call).
+std::vector<uint8_t>& encode_scratch() {
+  thread_local std::vector<uint8_t> buf;
+  return buf;
+}
+
+/// out[0, len) = sum_i coeffs[i] * shard_i[0, len), each shard a contiguous
+/// byte region. The first term overwrites (mul_region memsets on a zero
+/// coefficient), so `out` needs no pre-clearing.
+void accumulate_row(const uint8_t* coeffs, size_t k, const uint8_t* const* shards,
+                    size_t len, uint8_t* out) {
+  gf::mul_region(out, shards[0], coeffs[0], len);
+  for (size_t i = 1; i < k; ++i) {
+    gf::mul_add_region(out, shards[i], coeffs[i], len);
+  }
+}
+
+/// a (rows x inner) times b (inner x cols).
+GfMatrix mat_mul(const GfMatrix& a, const GfMatrix& b) {
+  assert(a.cols() == b.rows());
+  GfMatrix out(a.rows(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const uint8_t f = a.at(r, i);
+      if (f == 0) continue;
+      for (size_t c = 0; c < b.cols(); ++c) {
+        out.at(r, c) = gf::add(out.at(r, c), gf::mul(f, b.at(i, c)));
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -36,18 +71,28 @@ std::vector<Bytes> MdsCode::encode(const Bytes& value) const {
   const size_t stripes = element_size(value.size());
   const size_t kk = k();
 
-  // payload = [len u32][checksum u32][value][zero padding]
-  std::vector<uint8_t> payload(stripes * kk, 0);
+  // payload = [len u32][checksum u32][value][zero padding]; shard j is the
+  // contiguous slice [j * stripes, (j+1) * stripes).
+  std::vector<uint8_t>& payload = encode_scratch();
+  payload.assign(stripes * kk, 0);
   const auto len = static_cast<uint32_t>(value.size());
   const uint32_t sum = value_checksum(value);
   for (size_t i = 0; i < 4; ++i) payload[i] = static_cast<uint8_t>(len >> (8 * i));
   for (size_t i = 0; i < 4; ++i) payload[4 + i] = static_cast<uint8_t>(sum >> (8 * i));
   std::copy(value.begin(), value.end(), payload.begin() + kHeaderBytes);
 
-  std::vector<Bytes> elements(n(), Bytes(stripes));
-  for (size_t s = 0; s < stripes; ++s) {
-    const std::vector<uint8_t> coded = rs_.encode_stripe(payload.data() + s * kk);
-    for (size_t i = 0; i < n(); ++i) elements[i][s] = coded[i];
+  std::vector<const uint8_t*> shards(kk);
+  for (size_t j = 0; j < kk; ++j) shards[j] = payload.data() + j * stripes;
+
+  // Each element is one generator row applied to the shards as whole-region
+  // products -- encoded directly into its output buffer, no per-stripe
+  // intermediate. Systematic identity rows reduce to a memset + memcpy
+  // inside the region kernels' 0/1-coefficient fast paths.
+  const GfMatrix& gen = rs_.generator();
+  std::vector<Bytes> elements(n());
+  for (size_t i = 0; i < n(); ++i) {
+    elements[i].resize(stripes);
+    accumulate_row(gen.row(i), kk, shards.data(), stripes, elements[i].data());
   }
   return elements;
 }
@@ -90,13 +135,23 @@ std::optional<Bytes> MdsCode::decode(
 }
 
 // Out-of-line helper so the header stays minimal. Decodes one same-size
-// bucket with the fast interpolation path and a Berlekamp-Welch fallback.
+// bucket: stripe 0 via Berlekamp-Welch establishes the trusted position
+// set, then -- as long as the trusted set holds -- whole data shards are
+// produced by region accumulations (the per-stripe interpolation is one
+// fixed k x k linear map, so it distributes over contiguous shard slices).
+// A stripe where any trusted position diverges from the interpolated
+// codeword (e.g. a stale element that agreed on earlier stripes) falls
+// back to per-stripe Berlekamp-Welch, rebuilds the trusted set, and the
+// bulk pass resumes with the new matrices. The verify/materialize passes
+// run in chunks so an adversarially-placed divergence cannot waste more
+// than one chunk of region work.
 std::optional<Bytes> MdsCode::decode_group_impl(
     const Group* g, const std::vector<std::optional<Bytes>>& elements) const {
   const size_t stripes = g->size;
   const size_t m = g->positions.size();
   const size_t e_budget = rs_.max_errors(m);
   const size_t kk = k();
+  constexpr size_t kChunk = 16384;  // bytes per shard slice per bulk step
 
   auto symbol_at = [&](size_t stripe) {
     std::vector<ReceivedSymbol> syms;
@@ -107,13 +162,11 @@ std::optional<Bytes> MdsCode::decode_group_impl(
     return syms;
   };
 
-  // Stripe 0 via Berlekamp-Welch establishes the trusted position set; the
-  // set (and its interpolation matrix) is rebuilt whenever a later stripe
-  // proves it wrong -- e.g. a stale element that happens to agree with the
-  // fresh codeword on the early stripes but diverges afterwards. Each
-  // rebuild costs one O(k^3) inversion; an adversary can force at most one
-  // rebuild per corrupted element pattern, so the amortized per-stripe
-  // cost stays at the O(k^2) interpolation fast path.
+  // The trusted set and its interpolation matrix are rebuilt whenever a
+  // stripe proves them wrong. Each rebuild costs one O(k^3) inversion plus
+  // a map recomputation; an adversary can force at most one rebuild per
+  // corrupted element pattern, and the chunked bulk pass bounds the wasted
+  // region work per rebuild.
   std::vector<size_t> good;
   std::optional<GfMatrix> inv;
   auto rebuild_trusted = [&](const std::vector<uint8_t>& coeffs,
@@ -131,37 +184,81 @@ std::optional<Bytes> MdsCode::decode_group_impl(
     return inv.has_value();
   };
 
+  std::vector<uint8_t> payload(stripes * kk);
+  auto store_stripe = [&](size_t s, const std::vector<uint8_t>& data) {
+    for (size_t j = 0; j < kk; ++j) payload[j * stripes + s] = data[j];
+  };
+
   auto first = rs_.bw_decode(symbol_at(0), e_budget);
   if (!first || !rebuild_trusted(*first, 0)) return std::nullopt;
+  store_stripe(0, rs_.coeffs_to_data(*first));
 
-  std::vector<uint8_t> payload(stripes * kk);
-  {
-    const auto data0 = rs_.coeffs_to_data(*first);
-    for (size_t j = 0; j < kk; ++j) payload[j] = data0[j];
-  }
+  // d_map: data shards from the k trusted symbol shards (inv for the
+  // coefficient layout; Vd x inv evaluates the polynomial at the data
+  // points for the systematic layout). check: one row per *extra* trusted
+  // position, predicting its symbols from the same shards (the first k
+  // trusted rows are identity by construction and need no check).
+  GfMatrix d_map;
+  GfMatrix check;
+  auto rebuild_maps = [&]() {
+    if (rs_.layout() == RsLayout::kCoefficients) {
+      d_map = *inv;
+    } else {
+      std::vector<uint8_t> data_points(kk);
+      for (size_t j = 0; j < kk; ++j) data_points[j] = rs_.alpha(j);
+      d_map = mat_mul(vandermonde(data_points, kk), *inv);
+    }
+    std::vector<uint8_t> extra_points(good.size() - kk);
+    for (size_t t = kk; t < good.size(); ++t) {
+      extra_points[t - kk] = rs_.alpha(good[t]);
+    }
+    check = mat_mul(vandermonde(extra_points, kk), *inv);
+  };
+  rebuild_maps();
 
-  std::vector<uint8_t> ys(kk);
-  for (size_t s = 1; s < stripes; ++s) {
-    for (size_t i = 0; i < kk; ++i) ys[i] = (*elements[good[i]])[s];
-    std::vector<uint8_t> coeffs = inv->apply(ys);
+  std::vector<const uint8_t*> shards(kk);
+  std::vector<uint8_t> pred;
+  size_t s = 1;
+  while (s < stripes) {
+    const size_t end = std::min(stripes, s + kChunk);
+    const size_t len = end - s;
+    for (size_t i = 0; i < kk; ++i) shards[i] = elements[good[i]]->data() + s;
 
-    // Verify against every trusted position; a miss means this stripe's
-    // error pattern differs -- fall back to full B-W and re-learn which
-    // positions to trust.
-    bool consistent = true;
-    for (size_t pos : good) {
-      if (poly_eval(coeffs, rs_.alpha(pos)) != (*elements[pos])[s]) {
-        consistent = false;
-        break;
+    // Verify the chunk against every extra trusted position; the earliest
+    // diverging stripe bounds how much of the chunk is usable.
+    size_t bad = SIZE_MAX;
+    pred.resize(len);
+    for (size_t t = kk; t < good.size(); ++t) {
+      const size_t limit = std::min(len, bad == SIZE_MAX ? len : bad - s);
+      if (limit == 0) break;
+      accumulate_row(check.row(t - kk), kk, shards.data(), limit, pred.data());
+      const uint8_t* actual = elements[good[t]]->data() + s;
+      if (std::memcmp(pred.data(), actual, limit) != 0) {
+        size_t i = 0;
+        while (pred[i] == actual[i]) ++i;
+        bad = s + i;
       }
     }
-    if (!consistent) {
+
+    // Materialize data shards over the verified prefix with region ops.
+    const size_t clean_end = bad == SIZE_MAX ? end : bad;
+    if (clean_end > s) {
+      for (size_t j = 0; j < kk; ++j) {
+        accumulate_row(d_map.row(j), kk, shards.data(), clean_end - s,
+                       payload.data() + j * stripes + s);
+      }
+      s = clean_end;
+    }
+
+    if (bad != SIZE_MAX) {
+      // Divergent stripe: full Berlekamp-Welch, re-learn which positions to
+      // trust, then resume the bulk pass with the new matrices.
       auto fixed = rs_.bw_decode(symbol_at(s), e_budget);
       if (!fixed || !rebuild_trusted(*fixed, s)) return std::nullopt;
-      coeffs = std::move(*fixed);
+      store_stripe(s, rs_.coeffs_to_data(*fixed));
+      ++s;
+      rebuild_maps();
     }
-    const auto data = rs_.coeffs_to_data(coeffs);
-    for (size_t j = 0; j < kk; ++j) payload[s * kk + j] = data[j];
   }
   return finish(payload);
 }

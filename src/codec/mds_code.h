@@ -10,6 +10,15 @@
 // encoding, so decoding is self-delimiting; a 32-bit checksum of the value
 // is included as well, which lets `decode` reject the (concurrency-induced)
 // case where stripes decode to a mix of two different writes.
+//
+// Striping layout (shard-major): the padded payload
+//   [len u32][checksum u32][value][zero pad]          (stripes * k bytes)
+// is cut into k contiguous shards of `stripes` bytes each; data symbol j of
+// stripe s is payload[j * stripes + s]. With shards contiguous, encoding an
+// element is k coeff x shard region products (gf_region.h) instead of a
+// per-stripe column-major scatter, and the erasure-decode fast path applies
+// the precomputed interpolation matrix as region ops over whole received
+// elements. Berlekamp-Welch remains the per-stripe slow path.
 #pragma once
 
 #include <optional>
@@ -33,6 +42,11 @@ class MdsCode {
   size_t n() const { return rs_.n(); }
   size_t k() const { return rs_.k(); }
   RsLayout layout() const { return rs_.layout(); }
+
+  /// Header prepended to the value before striping: u32 length + u32
+  /// checksum (little-endian). Public so differential tests can rebuild the
+  /// padded payload independently.
+  static constexpr size_t kHeaderBytes = 8;
 
   /// Coded-element size (bytes) for a value of `value_size` bytes; every
   /// element has this same size. Approximately value_size / k.

@@ -13,6 +13,10 @@ RsCode::RsCode(size_t n, size_t k, RsLayout layout)
   alphas_.resize(n);
   for (size_t i = 0; i < n; ++i) alphas_[i] = gf::exp_table(static_cast<unsigned>(i));
 
+  if (layout_ == RsLayout::kCoefficients) {
+    // coded[i] = sum_j data[j] * alpha_i^j: the Vandermonde power matrix.
+    gen_ = vandermonde(alphas_, k_);
+  }
   if (layout_ == RsLayout::kSystematic && n_ > k_) {
     // parity = V_parity * V_data^{-1}: maps the k data symbols (values of
     // P at alpha_0..alpha_{k-1}) to the n-k parity symbols.
@@ -32,6 +36,14 @@ RsCode::RsCode(size_t n, size_t k, RsLayout layout)
         }
         parity_.at(r, c) = acc;
       }
+    }
+  }
+  if (layout_ == RsLayout::kSystematic) {
+    // Identity rows (data passes through) stacked over the parity map.
+    gen_ = GfMatrix(n_, k_);
+    for (size_t i = 0; i < k_; ++i) gen_.at(i, i) = 1;
+    for (size_t r = 0; r < n_ - k_; ++r) {
+      for (size_t c = 0; c < k_; ++c) gen_.at(k_ + r, c) = parity_.at(r, c);
     }
   }
 }

@@ -50,6 +50,13 @@ class RsCode {
   /// Evaluation point of server i.
   uint8_t alpha(size_t i) const { return alphas_[i]; }
 
+  /// n x k generator matrix: row i holds the coefficients mapping the k
+  /// data symbols to coded symbol i (Vandermonde powers for kCoefficients;
+  /// identity-over-parity for kSystematic). Encoding a whole element is then
+  /// n accumulations of coeff x data-shard region products -- the bulk path
+  /// MdsCode::encode drives through gf_region.h.
+  const GfMatrix& generator() const { return gen_; }
+
   /// Encodes k data symbols into n coded symbols.
   std::vector<uint8_t> encode_stripe(const uint8_t* data) const;
 
@@ -82,6 +89,8 @@ class RsCode {
   /// kSystematic only: (n-k) x k matrix mapping data to parity symbols,
   /// precomputed as V_parity * V_data^{-1}.
   GfMatrix parity_;
+  /// n x k generator matrix (see generator()).
+  GfMatrix gen_;
 };
 
 /// Evaluates polynomial `coeffs` (coeffs[i] is the x^i coefficient) at x.

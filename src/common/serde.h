@@ -29,13 +29,20 @@ class Serializer {
 
   void put_bool(bool v) { put_u8(v ? 1 : 0); }
 
+  /// Grows the buffer's capacity by at least `additional` bytes. Callers
+  /// that know a message's size (messages.cpp computes it exactly) reserve
+  /// once up front so large coded elements append without realloc-copies.
+  void reserve(size_t additional) { buf_.reserve(buf_.size() + additional); }
+
   /// Length-prefixed (u32) byte string.
   void put_bytes(const Bytes& b) {
+    reserve(4 + b.size());
     put_u32(static_cast<uint32_t>(b.size()));
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
   void put_string(std::string_view s) {
+    reserve(4 + s.size());
     put_u32(static_cast<uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
@@ -89,19 +96,28 @@ class Deserializer {
   bool get_bool() { return get_u8() != 0; }
 
   Bytes get_bytes() {
+    const BytesView v = get_bytes_view();
+    return Bytes(v.begin(), v.end());
+  }
+
+  /// Zero-copy variant of get_bytes: a view into the message buffer, valid
+  /// only while that buffer lives. Large-payload paths (coded elements,
+  /// history entries) bounds-check and consume the bytes through this view
+  /// and copy at most once, directly into their destination.
+  BytesView get_bytes_view() {
     uint32_t len = get_u32();
     if (!ok_ || remaining() < len) {
       ok_ = false;
       return {};
     }
-    Bytes out(data_ + pos_, data_ + pos_ + len);
+    const BytesView out(data_ + pos_, len);
     pos_ += len;
     return out;
   }
 
   std::string get_string() {
-    Bytes b = get_bytes();
-    return std::string(b.begin(), b.end());
+    const BytesView v = get_bytes_view();
+    return std::string(v.begin(), v.end());
   }
 
   ProcessId get_process_id() {

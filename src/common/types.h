@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ namespace bftreg {
 
 /// Raw byte string; register values and wire payloads are both byte vectors.
 using Bytes = std::vector<uint8_t>;
+
+/// Non-owning view over bytes (string_view analogue). Used by the zero-copy
+/// deserialization path; valid only while the underlying buffer lives.
+using BytesView = std::span<const uint8_t>;
 
 /// Virtual (simulator) or wall-clock time in nanoseconds.
 using TimeNs = uint64_t;

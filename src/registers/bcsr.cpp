@@ -17,14 +17,16 @@ BcsrWriter::BcsrWriter(ProcessId self, SystemConfig config,
 
 void BcsrWriter::send_put_data(const Tag& tag) {
   // Fig. 4 line 7: (PUT-DATA, (t_w, c_i)) to s_i, where c_i = Phi_i(v).
-  const std::vector<Bytes> elements = code_.encode(value_);
+  std::vector<Bytes> elements = code_.encode(value_);
   RegisterMessage put;
   put.type = MsgType::kPutData;
   put.op_id = current_op_id();
   put.object = object();
   put.tag = tag;
   for (uint32_t i = 0; i < config_.n; ++i) {
-    put.value = elements[i];
+    // Each element is consumed by exactly one message; move it into the
+    // frame instead of re-copying a value_size/k buffer per server.
+    put.value = std::move(elements[i]);
     send_to_server(i, put);
   }
 }

@@ -35,7 +35,16 @@ const char* to_string(MsgType t) {
 }
 
 Bytes RegisterMessage::encode() const {
+  // Exact wire size, so the buffer is allocated once and the (often large)
+  // coded elements append without any realloc re-copy: fixed fields 13 +
+  // tag 13 + 4 length prefixes, plus 17 per history entry (tag + length
+  // prefix), 13 per tag, 4 per object id, plus the raw payload bytes.
+  size_t total = 13 + 13 + 4 * 4 + value.size();
+  for (const auto& tv : history) total += 17 + tv.value.size();
+  total += 13 * tags.size() + 4 * objects.size();
+
   Serializer s;
+  s.reserve(total);
   s.put_u8(static_cast<uint8_t>(type));
   s.put_u64(op_id);
   s.put_u32(object);
@@ -62,7 +71,10 @@ std::optional<RegisterMessage> RegisterMessage::parse(const Bytes& payload) {
   m.op_id = d.get_u64();
   m.object = d.get_u32();
   m.tag = d.get_tag();
-  m.value = d.get_bytes();
+  // Large payloads (coded elements) flow through the zero-copy view and
+  // land in their owning vector with exactly one copy.
+  const BytesView value = d.get_bytes_view();
+  m.value.assign(value.begin(), value.end());
 
   const uint32_t history_count = d.get_u32();
   if (!d.ok()) return std::nullopt;
@@ -73,8 +85,9 @@ std::optional<RegisterMessage> RegisterMessage::parse(const Bytes& payload) {
   for (uint32_t i = 0; i < history_count; ++i) {
     TaggedValue tv;
     tv.tag = d.get_tag();
-    tv.value = d.get_bytes();
+    const BytesView hv = d.get_bytes_view();
     if (!d.ok()) return std::nullopt;
+    tv.value.assign(hv.begin(), hv.end());
     m.history.push_back(std::move(tv));
   }
 

@@ -112,7 +112,10 @@ class ThreadNetwork final : public net::Transport {
       GUARDED_BY(sched_mu_);
   std::thread sched_thread_;
 
-  Mutex rng_mu_;
+  // send() draws a delay under rng_mu_ and then (after releasing it)
+  // schedules under sched_mu_; the declared order keeps any future nesting
+  // in that direction -- tools/bftreg_lint flags inversions statically.
+  Mutex rng_mu_ ACQUIRED_BEFORE(sched_mu_);
   Rng rng_ GUARDED_BY(rng_mu_);
 
   std::atomic<uint64_t> next_seq_{0};

@@ -24,9 +24,14 @@ bool PersistentRegisterServer::apply_put(uint32_t object, const Tag& tag,
   // first and log on success. Both orders are equivalent here: the ACK is
   // only sent after this handler returns, so a crash mid-handler loses the
   // ACK along with (at worst) the log record.
+  if (recovering_) {
+    // Replayed records are never re-logged; skip the log-copy entirely so
+    // recovery moves each (possibly large) coded element exactly once.
+    return RegisterServer::apply_put(object, tag, std::move(value));
+  }
   Bytes copy = value;  // keep bytes for the log; base consumes `value`
   const bool added = RegisterServer::apply_put(object, tag, std::move(value));
-  if (added && !recovering_) {
+  if (added) {
     wal_.append(WalRecord{object, tag, std::move(copy)});
   }
   return added;

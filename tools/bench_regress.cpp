@@ -1,0 +1,166 @@
+// Benchmark regression gate for BENCH_codec.json.
+//
+//   bench_regress <baseline.json> <current.json> [--max-regress=0.20]
+//
+// Both files follow the bftreg-bench-codec-v1 schema written by
+// `bench_codec --json=PATH`. Every (n, f, size, kernel) point present in
+// BOTH files is compared metric by metric; if any current metric falls
+// below baseline * (1 - max_regress), the gate fails (exit 1). Points that
+// exist only on one side (e.g. the CI host lacks AVX2) are reported but do
+// not fail the gate -- hardware variance is not a regression.
+//
+// The parser below is deliberately minimal: it only understands the flat
+// one-object-per-result layout our own writer produces, which keeps this
+// tool dependency-free (no JSON library in the image).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Point {
+  double encode_mbps{0};
+  double decode_clean_mbps{0};
+  double decode_adv_mbps{0};
+};
+
+using PointMap = std::map<std::string, Point>;  // key: "n=../f=../size=../kernel=.."
+
+/// Extracts the numeric value following `"key":` in `obj`, or -1.
+double find_number(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = obj.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(obj.c_str() + at + needle.size(), nullptr);
+}
+
+/// Extracts the quoted string following `"key":` in `obj`, or "".
+std::string find_string(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t at = obj.find(needle);
+  if (at == std::string::npos) return "";
+  at = obj.find('"', at + needle.size());
+  if (at == std::string::npos) return "";
+  const size_t end = obj.find('"', at + 1);
+  if (end == std::string::npos) return "";
+  return obj.substr(at + 1, end - at - 1);
+}
+
+bool load(const std::string& path, PointMap* out, std::string* schema) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_regress: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  *schema = find_string(text, "schema");
+
+  // Walk the result objects: each is a brace-delimited span after "results".
+  size_t pos = text.find("\"results\"");
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "bench_regress: %s has no results array\n", path.c_str());
+    return false;
+  }
+  while ((pos = text.find('{', pos + 1)) != std::string::npos) {
+    const size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos + 1);
+    pos = end;
+
+    const std::string kernel = find_string(obj, "kernel");
+    const double n = find_number(obj, "n");
+    if (kernel.empty() || n < 0) continue;
+    char key[128];
+    std::snprintf(key, sizeof(key), "n=%d/f=%d/size=%d/kernel=%s",
+                  static_cast<int>(n), static_cast<int>(find_number(obj, "f")),
+                  static_cast<int>(find_number(obj, "size")), kernel.c_str());
+    Point p;
+    p.encode_mbps = find_number(obj, "encode_mbps");
+    p.decode_clean_mbps = find_number(obj, "decode_clean_mbps");
+    p.decode_adv_mbps = find_number(obj, "decode_adv_mbps");
+    (*out)[key] = p;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path, cur_path;
+  double max_regress = 0.20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-regress=", 14) == 0) {
+      max_regress = std::strtod(argv[i] + 14, nullptr);
+    } else if (base_path.empty()) {
+      base_path = argv[i];
+    } else if (cur_path.empty()) {
+      cur_path = argv[i];
+    }
+  }
+  if (cur_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_regress <baseline.json> <current.json> "
+                 "[--max-regress=0.20]\n");
+    return 2;
+  }
+
+  PointMap base, cur;
+  std::string base_schema, cur_schema;
+  if (!load(base_path, &base, &base_schema) || !load(cur_path, &cur, &cur_schema)) {
+    return 2;
+  }
+  if (base_schema != cur_schema) {
+    std::fprintf(stderr, "bench_regress: schema mismatch (%s vs %s)\n",
+                 base_schema.c_str(), cur_schema.c_str());
+    return 2;
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [key, b] : base) {
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      std::printf("SKIP  %-48s (absent in current run)\n", key.c_str());
+      continue;
+    }
+    const Point& c = it->second;
+    const struct {
+      const char* name;
+      double base_v;
+      double cur_v;
+    } metrics[] = {
+        {"encode", b.encode_mbps, c.encode_mbps},
+        {"decode_clean", b.decode_clean_mbps, c.decode_clean_mbps},
+        {"decode_adv", b.decode_adv_mbps, c.decode_adv_mbps},
+    };
+    for (const auto& m : metrics) {
+      if (m.base_v <= 0) continue;
+      ++compared;
+      const double floor = m.base_v * (1.0 - max_regress);
+      const double delta = (m.cur_v - m.base_v) / m.base_v * 100.0;
+      if (m.cur_v < floor) {
+        ++regressions;
+        std::printf("FAIL  %-48s %-13s %8.1f -> %8.1f MB/s (%+.1f%%)\n",
+                    key.c_str(), m.name, m.base_v, m.cur_v, delta);
+      } else {
+        std::printf("ok    %-48s %-13s %8.1f -> %8.1f MB/s (%+.1f%%)\n",
+                    key.c_str(), m.name, m.base_v, m.cur_v, delta);
+      }
+    }
+  }
+  for (const auto& [key, _] : cur) {
+    if (!base.count(key)) {
+      std::printf("NEW   %-48s (absent in baseline)\n", key.c_str());
+    }
+  }
+  std::printf("bench_regress: %d metrics compared, %d regressed more than %.0f%%\n",
+              compared, regressions, max_regress * 100.0);
+  return regressions > 0 ? 1 : 0;
+}

@@ -1,6 +1,7 @@
 #include "tools/lint_rules.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <regex>
@@ -65,11 +66,69 @@ const std::regex kMutexMember(
 // `2 * f`, while 3/4/5 are exactly the protocol bounds (3f+1 RB, 4f+1 BSR,
 // 5f+1 BCSR) that must live in config.h.
 const std::regex kResilienceLiteral(R"(\b[345]\s*\*\s*f\b|\bf\s*\*\s*[345]\b)");
+// `Mutex name ACQUIRED_BEFORE(a, b);` / `std::mutex name ACQUIRED_AFTER(a);`
+const std::regex kOrderedMutex(
+    R"((?:std\s*::\s*(?:shared_)?mutex|Mutex)\s+([A-Za-z_]\w*)\s+ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\))");
+// `MutexLock lock(expr);` -- the RAII acquisition the codebase uses.
+const std::regex kMutexLock(R"(\bMutexLock\s+\w+\s*\(\s*([^)]+?)\s*\))");
+
+/// Reduces a lock expression to the bare member name the order edges use:
+/// `box->mu` -> `mu`, `this->sched_mu_` -> `sched_mu_`, `*ep->mu` -> `mu`.
+std::string lock_target(std::string expr) {
+  while (!expr.empty() && (expr.front() == '*' || expr.front() == '&' ||
+                           expr.front() == ' ')) {
+    expr.erase(expr.begin());
+  }
+  size_t cut = std::string::npos;
+  for (const char* sep : {"->", ".", "::"}) {
+    const size_t at = expr.rfind(sep);
+    if (at != std::string::npos) {
+      const size_t after = at + std::strlen(sep);
+      if (cut == std::string::npos || after > cut) cut = after;
+    }
+  }
+  if (cut != std::string::npos) expr = expr.substr(cut);
+  return expr;
+}
 
 }  // namespace
 
+LockOrder collect_lock_order(const std::string& content) {
+  LockOrder order;
+  std::istringstream in(content);
+  std::string line, code;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    code += strip_comments(line, in_block);
+    code += '\n';
+  }
+  for (std::sregex_iterator it(code.begin(), code.end(), kOrderedMutex), end;
+       it != end; ++it) {
+    const std::string name = (*it)[1].str();
+    const bool before = (*it)[2].str() == "BEFORE";
+    std::istringstream args((*it)[3].str());
+    std::string arg;
+    while (std::getline(args, arg, ',')) {
+      const std::string other = lock_target(arg);
+      if (other.empty()) continue;
+      if (before) {
+        order[name].insert(other);  // name < other
+      } else {
+        order[other].insert(name);  // other < name
+      }
+    }
+  }
+  return order;
+}
+
 std::vector<Violation> lint_content(const std::string& rel_path,
                                     const std::string& content) {
+  return lint_content(rel_path, content, collect_lock_order(content));
+}
+
+std::vector<Violation> lint_content(const std::string& rel_path,
+                                    const std::string& content,
+                                    const LockOrder& order) {
   std::vector<Violation> out;
 
   std::vector<std::string> raw_lines;
@@ -129,6 +188,57 @@ std::vector<Violation> lint_content(const std::string& rel_path,
            "bcsr_code_dimension)");
     }
   }
+
+  // Lock-order pass: walk brace scopes and the MutexLock acquisitions made
+  // inside them; a held lock is released when its scope's closing brace
+  // drops the depth below its acquisition depth. Acquiring B while A is
+  // held is an inversion iff the declared order says B < A. Brace tracking
+  // is textual (string literals containing braces could confuse it), which
+  // is the same precision bar as the other rules -- and waivable the same
+  // way.
+  if (!order.empty()) {
+    struct Held {
+      std::string name;
+      int depth;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+    for (size_t i = 0; i < code_lines.size(); ++i) {
+      const std::string& code = code_lines[i];
+      std::vector<std::pair<size_t, std::string>> acquisitions;  // pos, lock
+      for (std::sregex_iterator it(code.begin(), code.end(), kMutexLock), end;
+           it != end; ++it) {
+        acquisitions.emplace_back(static_cast<size_t>(it->position(0)),
+                                  lock_target((*it)[1].str()));
+      }
+      size_t next = 0;
+      for (size_t p = 0; p <= code.size(); ++p) {
+        while (next < acquisitions.size() && acquisitions[next].first == p) {
+          const std::string& name = acquisitions[next].second;
+          const auto must_precede = order.find(name);
+          if (must_precede != order.end()) {
+            for (const Held& h : held) {
+              if (must_precede->second.count(h.name)) {
+                flag(i, "lock-order",
+                     "acquiring '" + name + "' while '" + h.name +
+                         "' is held inverts the declared order ('" + name +
+                         "' ACQUIRED_BEFORE '" + h.name + "')");
+              }
+            }
+          }
+          held.push_back(Held{name, depth});
+          ++next;
+        }
+        if (p == code.size()) break;
+        if (code[p] == '{') {
+          ++depth;
+        } else if (code[p] == '}') {
+          --depth;
+          while (!held.empty() && held.back().depth > depth) held.pop_back();
+        }
+      }
+    }
+  }
   return out;
 }
 
@@ -148,7 +258,11 @@ std::vector<Violation> lint_tree(const std::string& repo_root) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Violation> out;
+  // Pass 1: collect ACQUIRED_BEFORE / ACQUIRED_AFTER edges from every file,
+  // so a lock declared in a header is checked against acquisitions in the
+  // matching .cpp (and anywhere else the member name appears).
+  std::vector<std::pair<std::string, std::string>> sources;  // rel, content
+  LockOrder order;
   for (const auto& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("cannot read " + path.string());
@@ -156,7 +270,16 @@ std::vector<Violation> lint_tree(const std::string& repo_root) {
     buf << in.rdbuf();
     const std::string rel =
         fs::relative(path, root).generic_string();  // forward slashes
-    auto found = lint_content(rel, buf.str());
+    sources.emplace_back(rel, buf.str());
+    for (auto& [before, afters] : collect_lock_order(sources.back().second)) {
+      order[before].insert(afters.begin(), afters.end());
+    }
+  }
+
+  // Pass 2: lint each file against the merged order.
+  std::vector<Violation> out;
+  for (const auto& [rel, content] : sources) {
+    auto found = lint_content(rel, content, order);
     out.insert(out.end(), found.begin(), found.end());
   }
   return out;

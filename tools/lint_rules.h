@@ -19,12 +19,20 @@
 //   resilience-literal  `k * f` resilience arithmetic outside
 //                       src/registers/config.h -- the 4f+1 / 5f+1 / 3f+1
 //                       bounds live in exactly one place.
+//   lock-order          a nested `MutexLock` scope that acquires against a
+//                       declared ACQUIRED_BEFORE / ACQUIRED_AFTER edge --
+//                       lock-order inversions are the one class the clang
+//                       thread-safety analysis and TSan both only catch
+//                       dynamically, so the declared order is checked
+//                       statically here (direct edges, no transitivity).
 //
 // A finding can be waived by putting `bftreg-lint: allow(<rule>)` in a
 // comment on the offending line or the line directly above it, with a
 // justification.
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,11 +45,26 @@ struct Violation {
   std::string message;
 };
 
+/// Declared acquisition order: order["a"] contains "b" iff `a` must be
+/// acquired before `b` (from `ACQUIRED_BEFORE` / `ACQUIRED_AFTER`
+/// annotations on mutex members). Mutexes are identified by their bare
+/// member name -- `box->mu` and `mu` are the same lock for this purpose.
+using LockOrder = std::map<std::string, std::set<std::string>>;
+
+/// Extracts the ACQUIRED_BEFORE / ACQUIRED_AFTER edges declared in one
+/// file's contents (comments stripped first).
+LockOrder collect_lock_order(const std::string& content);
+
 /// Runs every rule over one file's contents. `rel_path` must be
 /// repo-relative with forward slashes (e.g. "src/codec/rs.cpp") -- the
-/// path-scoped rules key off it.
+/// path-scoped rules key off it. The two-argument form checks lock order
+/// against the edges declared in the same file; `lint_tree` collects edges
+/// from every header first and passes the merged order.
 std::vector<Violation> lint_content(const std::string& rel_path,
                                     const std::string& content);
+std::vector<Violation> lint_content(const std::string& rel_path,
+                                    const std::string& content,
+                                    const LockOrder& order);
 
 /// Scans `<repo_root>/src` recursively for .h/.cpp files and lints each.
 /// Returns all violations; I/O errors throw std::runtime_error.
