@@ -1,55 +1,141 @@
 // Quickstart: a 5-server BSR register (n = 4f+1, f = 1) in the
-// deterministic simulator -- write a value, read it back in one round.
+// deterministic simulator, driven through the high-level RegisterClient --
+// write a value, read it back in one round, then pipeline a burst of
+// operations over many objects through the same single client.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "adversary/byzantine_server.h"
 #include "checker/consistency.h"
-#include "harness/sim_cluster.h"
+#include "checker/execution.h"
+#include "registers/registers.h"
+#include "sim/simulator.h"
 
 using namespace bftreg;
 
 int main() {
-  // A cluster is the whole emulated system: n servers, writers, readers,
-  // and a seeded virtual network. Everything is deterministic in the seed.
-  harness::ClusterOptions options;
-  options.protocol = harness::Protocol::kBsr;  // replicated, one-shot reads
-  options.config.n = 5;                        // 4f + 1 servers
-  options.config.f = 1;                        // tolerate 1 Byzantine server
-  options.num_writers = 1;
-  options.num_readers = 1;
-  options.seed = 2024;
+  // Centralized validation: a bad (n, f) is reported, not asserted.
+  auto built = registers::SystemConfig::builder().n(5).f(1).build_for_bsr();
+  if (!built) {
+    std::fprintf(stderr, "config: %s\n", built.error().detail.c_str());
+    return 2;
+  }
+  const registers::SystemConfig config = built.value();
 
-  harness::SimCluster cluster(options);
+  sim::SimConfig sc;
+  sc.seed = 2024;
+  sim::Simulator sim(std::move(sc));
 
-  // One of the five servers turns out to be Byzantine. BSR does not care.
-  cluster.set_byzantine(3, adversary::StrategyKind::kFabricate);
+  // n servers; one of them turns out to be Byzantine. BSR does not care.
+  std::vector<std::unique_ptr<registers::RegisterServer>> servers;
+  for (uint32_t i = 0; i < config.n; ++i) {
+    if (i == 3) continue;
+    servers.push_back(std::make_unique<registers::RegisterServer>(
+        ProcessId::server(i), config, &sim, Bytes{}));
+    sim.add_process(ProcessId::server(i), servers.back().get());
+  }
+  adversary::ServerContext ctx;
+  ctx.self = ProcessId::server(3);
+  ctx.config = config;
+  ctx.transport = &sim;
+  ctx.rng = Rng(999);
+  adversary::ByzantineServer byzantine(
+      std::move(ctx),
+      adversary::make_strategy(adversary::StrategyKind::kFabricate, 999));
+  sim.add_process(ProcessId::server(3), &byzantine);
+
+  // ONE client object serves every operation of this process -- reads,
+  // writes, batches, across any number of objects, any number in flight.
+  registers::RegisterClient client(ProcessId::writer(0), config, &sim);
+  sim.add_process(client.id(), &client);
+  sim.start_all();
 
   std::printf("BSR register: n=%zu servers, f=%zu Byzantine tolerated\n\n",
-              options.config.n, options.config.f);
+              config.n, config.f);
+
+  checker::ExecutionRecorder recorder;
 
   // Write: two rounds (get-tag, put-data).
   const std::string text = "hello, byzantine world";
-  const auto w = cluster.write(0, Bytes(text.begin(), text.end()));
+  registers::WriteResult w;
+  bool write_done = false;
+  sim.post(client.id(), [&] {
+    const uint64_t rec =
+        recorder.begin_write(client.id(), sim.now(), Bytes(text.begin(), text.end()));
+    client.write(0, Bytes(text.begin(), text.end()),
+                 [&, rec](const registers::WriteResult& r) {
+                   recorder.complete_write(rec, r.completed_at, r.tag);
+                   w = r;
+                   write_done = true;
+                 });
+  });
+  sim.run_until([&] { return write_done; });
   std::printf("write(\"%s\")\n  tag=(%llu, writer:%u), rounds=%d, latency=%llu ns\n",
               text.c_str(), static_cast<unsigned long long>(w.tag.num),
               w.tag.writer.index, w.rounds,
               static_cast<unsigned long long>(w.completed_at - w.invoked_at));
 
   // Read: ONE round -- the paper's headline one-shot read.
-  const auto r = cluster.read(0);
+  registers::ReadResult r;
+  bool read_done = false;
+  sim.post(client.id(), [&] {
+    const uint64_t rec = recorder.begin_read(client.id(), sim.now());
+    client.read(0, [&, rec](const registers::ReadResult& res) {
+      recorder.complete_read(rec, res.completed_at, res.value, res.tag);
+      r = res;
+      read_done = true;
+    });
+  });
+  sim.run_until([&] { return read_done; });
   std::printf("read()\n  -> \"%s\", rounds=%d (one-shot), latency=%llu ns\n",
               std::string(r.value.begin(), r.value.end()).c_str(), r.rounds,
               static_cast<unsigned long long>(r.completed_at - r.invoked_at));
+
+  // Pipelining: the client multiplexes operations, so a burst of writes to
+  // 8 different objects (plus a batched read of all of them) runs
+  // concurrently from this one process -- no client pool needed.
+  size_t peak_in_flight = 0;
+  size_t burst_done = 0;
+  sim.post(client.id(), [&] {
+    for (uint32_t object = 1; object <= 8; ++object) {
+      const std::string v = "obj-" + std::to_string(object);
+      const uint64_t rec =
+          recorder.begin_write(client.id(), sim.now(), Bytes(v.begin(), v.end()));
+      client.write(object, Bytes(v.begin(), v.end()),
+                   [&, rec](const registers::WriteResult& res) {
+                     recorder.complete_write(rec, res.completed_at, res.tag);
+                     ++burst_done;
+                   });
+    }
+    peak_in_flight = client.in_flight();
+  });
+  sim.run_until([&] { return burst_done == 8; });
+  registers::BatchReadResult batch;
+  bool batch_done = false;
+  sim.post(client.id(), [&] {
+    client.read_batch({1, 2, 3, 4, 5, 6, 7, 8},
+                      [&](const registers::BatchReadResult& res) {
+                        batch = res;
+                        batch_done = true;
+                      });
+  });
+  sim.run_until([&] { return batch_done; });
+  std::printf(
+      "\npipelined burst: 8 writes in flight at once (peak %zu), then one\n"
+      "batched read returned %zu objects in a single round\n",
+      peak_in_flight, batch.results.size());
 
   // The f+1 witness rule guarantees the fabricating server could not plant
   // a value; verify against the recorded execution.
   checker::CheckOptions copts;
   copts.strict_validity = true;
-  const auto verdict = checker::check_safety(cluster.recorder().ops(), copts);
+  const auto verdict = checker::check_safety(recorder.ops(), copts);
   std::printf("\nsafety check over the recorded execution: %s\n",
               verdict.ok ? "OK" : verdict.violation.c_str());
   return verdict.ok ? 0 : 1;

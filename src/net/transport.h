@@ -47,6 +47,15 @@ class Transport {
   /// client operation starts without racing message handlers.
   virtual void post(const ProcessId& pid, std::function<void()> fn) = 0;
 
+  /// Runs `fn` in `pid`'s execution context no earlier than `delta` ns from
+  /// now (virtual ns in the simulator, wall ns in the runtimes). The timer
+  /// hook behind client deadlines and retries (registers::OpMux); like every
+  /// handler, the closure never runs concurrently with the process's other
+  /// handlers. Timers pending at shutdown are dropped, and a crashed
+  /// process's timers do not fire.
+  virtual void post_after(const ProcessId& pid, TimeNs delta,
+                          std::function<void()> fn) = 0;
+
   virtual NetworkMetrics& metrics() = 0;
 };
 

@@ -1,91 +1,24 @@
 #include "registers/batch_reader.h"
 
 #include <cassert>
+#include <memory>
 
 namespace bftreg::registers {
 
 BatchReader::BatchReader(ProcessId self, SystemConfig config,
                          net::Transport* transport)
-    : self_(self),
-      config_(std::move(config)),
-      transport_(transport),
-      responded_(config_.quorum()) {}
+    : mux_(self, std::move(config), transport) {}
 
 void BatchReader::start_read(std::vector<uint32_t> objects, Callback callback) {
-  assert(!reading_ && "at most one operation per client");
+  assert(!busy() && "at most one operation per client");
   assert(!objects.empty());
   // Servers cap batches at 4096 (see RegisterServer); a larger request
-  // would have every honest response rejected as partial below.
+  // would have every honest response rejected as partial.
   assert(objects.size() <= 4096 && "batch exceeds the server-side cap");
-  reading_ = true;
-  callback_ = std::move(callback);
-  invoked_at_ = transport_->now();
-  ++op_id_;
-  objects_ = std::move(objects);
-  responded_.reset();
-  responses_.clear();
-
-  RegisterMessage query;
-  query.type = MsgType::kQueryDataBatch;
-  query.op_id = op_id_;
-  query.objects = objects_;
-  const Bytes payload = query.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void BatchReader::on_message(const net::Envelope& env) {
-  if (!reading_ || !env.from.is_server()) return;
-  auto msg = RegisterMessage::parse(env.payload);
-  if (!msg || msg->type != MsgType::kDataBatchResp || msg->op_id != op_id_) return;
-  // A response that does not cover the full request (malformed or capped)
-  // cannot vouch per object; drop it.
-  if (msg->objects != objects_ || msg->history.size() != objects_.size()) return;
-  if (!responded_.add(env.from)) return;
-  responses_.emplace(env.from, std::move(msg->history));
-  if (responded_.reached()) finish();
-}
-
-void BatchReader::finish() {
-  BatchReadResult batch;
-  batch.invoked_at = invoked_at_;
-  batch.rounds = 1;
-  batch.results.reserve(objects_.size());
-
-  for (size_t i = 0; i < objects_.size(); ++i) {
-    const uint32_t object = objects_[i];
-    // Fig. 2's selection, object-wise.
-    std::map<TaggedValue, size_t> witnesses;
-    for (const auto& [server, pairs] : responses_) ++witnesses[pairs[i]];
-    const TaggedValue* best = nullptr;
-    for (const auto& [pair, count] : witnesses) {
-      if (count >= config_.witness_threshold()) best = &pair;  // ascending
-    }
-
-    auto [it, inserted] =
-        locals_.try_emplace(object, TaggedValue{Tag::initial(),
-                                                config_.initial_value});
-    TaggedValue& local = it->second;
-    ReadResult r;
-    r.fresh = false;
-    if (best != nullptr && best->tag > local.tag) {
-      local = *best;
-      r.fresh = true;
-    }
-    r.value = local.value;
-    r.tag = local.tag;
-    r.invoked_at = invoked_at_;
-    r.rounds = 1;
-    batch.results.push_back(std::move(r));
-  }
-
-  reading_ = false;
-  batch.completed_at = transport_->now();
-  for (auto& r : batch.results) r.completed_at = batch.completed_at;
-  Callback cb = std::move(callback_);
-  callback_ = nullptr;
-  if (cb) cb(batch);
+  mux_.start(std::make_unique<BatchReadOp>(mux_.config(), &states_,
+                                           std::move(objects),
+                                           std::move(callback)),
+             OpKind::kBatchRead, /*object=*/0);
 }
 
 }  // namespace bftreg::registers

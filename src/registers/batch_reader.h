@@ -9,6 +9,9 @@
 // b in messages over b separate BSR reads (and keeps the paper's safety
 // guarantee per object, since the witness argument of Lemma 1/Lemma 5 is
 // object-wise).
+//
+// Low-level single-operation client; protocol logic in BatchReadOp
+// (protocol_ops.h), multiplexed flavor in RegisterClient (client.h).
 #pragma once
 
 #include <functional>
@@ -16,20 +19,12 @@
 #include <vector>
 
 #include "net/transport.h"
-#include "registers/bsr_reader.h"
 #include "registers/config.h"
-#include "registers/messages.h"
-#include "registers/quorum.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
+#include "registers/results.h"
 
 namespace bftreg::registers {
-
-struct BatchReadResult {
-  /// Per-object results, aligned with the requested object list.
-  std::vector<ReadResult> results;
-  TimeNs invoked_at{0};
-  TimeNs completed_at{0};
-  int rounds{1};
-};
 
 class BatchReader final : public net::IProcess {
  public:
@@ -41,29 +36,15 @@ class BatchReader final : public net::IProcess {
   /// per object; duplicates in the list are allowed and answered twice).
   void start_read(std::vector<uint32_t> objects, Callback callback);
 
-  void on_message(const net::Envelope& env) override;
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
-  bool busy() const { return reading_; }
-  const ProcessId& id() const { return self_; }
+  bool busy() const { return !mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
 
  private:
-  void finish();
-
-  const ProcessId self_;
-  const SystemConfig config_;
-  net::Transport* const transport_;
-
+  OpMux mux_;
   /// Persistent per-object local pairs (Fig. 2 line 1, object-wise).
-  std::map<uint32_t, TaggedValue> locals_;
-
-  bool reading_{false};
-  uint64_t op_id_{0};
-  std::vector<uint32_t> objects_;
-  QuorumTracker responded_;
-  /// server -> (per requested index) reported pair.
-  std::map<ProcessId, std::vector<TaggedValue>> responses_;
-  Callback callback_;
-  TimeNs invoked_at_{0};
+  std::map<uint32_t, LocalState> states_;
 };
 
 }  // namespace bftreg::registers

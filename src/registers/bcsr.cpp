@@ -1,6 +1,7 @@
 #include "registers/bcsr.h"
 
 #include <cassert>
+#include <memory>
 
 namespace bftreg::registers {
 
@@ -10,90 +11,23 @@ std::vector<Bytes> bcsr_initial_elements(const SystemConfig& config) {
 
 BcsrWriter::BcsrWriter(ProcessId self, SystemConfig config,
                        net::Transport* transport, uint32_t object)
-    : BsrWriter(self, config, transport, object),
-      code_(codec::MdsCode::for_bcsr(config.n, config.f)) {
+    : BsrWriter(self, config, transport, object,
+                codec::MdsCode::for_bcsr(config.n, config.f)) {
   assert(config.valid_for_bcsr());
-}
-
-void BcsrWriter::send_put_data(const Tag& tag) {
-  // Fig. 4 line 7: (PUT-DATA, (t_w, c_i)) to s_i, where c_i = Phi_i(v).
-  std::vector<Bytes> elements = code_.encode(value_);
-  RegisterMessage put;
-  put.type = MsgType::kPutData;
-  put.op_id = current_op_id();
-  put.object = object();
-  put.tag = tag;
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    // Each element is consumed by exactly one message; move it into the
-    // frame instead of re-copying a value_size/k buffer per server.
-    put.value = std::move(elements[i]);
-    send_to_server(i, put);
-  }
 }
 
 BcsrReader::BcsrReader(ProcessId self, SystemConfig config,
                        net::Transport* transport, uint32_t object)
-    : self_(self),
-      config_(std::move(config)),
-      transport_(transport),
+    : mux_(self, std::move(config), transport),
       object_(object),
-      code_(codec::MdsCode::for_bcsr(config_.n, config_.f)),
-      last_value_(config_.initial_value),
-      responded_(config_.quorum()) {}
+      code_(codec::MdsCode::for_bcsr(mux_.config().n, mux_.config().f)),
+      state_(LocalState::initial(mux_.config())) {}
 
 void BcsrReader::start_read(Callback callback) {
-  assert(!reading_ && "at most one operation per client");
-  reading_ = true;
-  callback_ = std::move(callback);
-  invoked_at_ = transport_->now();
-  ++op_id_;
-  responded_.reset();
-  elements_.assign(config_.n, std::nullopt);
-
-  RegisterMessage query;
-  query.type = MsgType::kQueryData;
-  query.op_id = op_id_;
-  query.object = object_;
-  const Bytes payload = query.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void BcsrReader::on_message(const net::Envelope& env) {
-  if (!reading_ || !env.from.is_server()) return;
-  auto msg = RegisterMessage::parse(env.payload);
-  if (!msg || msg->type != MsgType::kDataResp || msg->op_id != op_id_ ||
-      msg->object != object_) {
-    return;
-  }
-  if (env.from.index >= config_.n) return;
-  if (!responded_.add(env.from)) return;
-  elements_[env.from.index] = std::move(msg->value);
-  if (responded_.reached()) finish();
-}
-
-void BcsrReader::finish() {
-  // Fig. 5 line 4: return Phi^{-1}(received elements) if possible,
-  // otherwise fall back (v0 / last decodable value).
-  ReadResult result;
-  auto decoded = code_.decode(elements_);
-  if (decoded) {
-    last_value_ = *decoded;
-    result.fresh = true;
-  } else {
-    ++decode_failures_;
-    result.fresh = false;
-  }
-  result.value = last_value_;
-
-  reading_ = false;
-  result.invoked_at = invoked_at_;
-  result.completed_at = transport_->now();
-  result.rounds = 1;
-  Callback cb = std::move(callback_);
-  callback_ = nullptr;
-  if (cb) cb(result);
+  assert(!busy() && "at most one operation per client");
+  mux_.start(std::make_unique<BcsrReadOp>(mux_.config(), &code_, &state_,
+                                          std::move(callback)),
+             OpKind::kBcsrRead, object_);
 }
 
 }  // namespace bftreg::registers

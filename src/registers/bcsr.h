@@ -12,17 +12,21 @@
 // never concurrent (paper, footnote 2); concurrent writes may cause a
 // decode failure, in which case the read falls back to the reader's last
 // decoded value (initially v0) -- consistent with Definition 1(ii).
+//
+// These are the low-level, single-operation clients; the protocol logic
+// lives in WriteOp/BcsrReadOp (protocol_ops.h) and RegisterClient
+// (client.h) runs the same ops with multiplexing.
 #pragma once
 
 #include <functional>
-#include <map>
-#include <optional>
 
 #include "codec/mds_code.h"
 #include "net/transport.h"
 #include "registers/bsr_reader.h"
 #include "registers/bsr_writer.h"
 #include "registers/config.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
 
 namespace bftreg::registers {
 
@@ -34,13 +38,6 @@ class BcsrWriter final : public BsrWriter {
  public:
   BcsrWriter(ProcessId self, SystemConfig config, net::Transport* transport,
              uint32_t object = 0);
-
- protected:
-  /// Fig. 4 line 7: server i receives (tag, Phi_i(v)).
-  void send_put_data(const Tag& tag) override;
-
- private:
-  codec::MdsCode code_;
 };
 
 class BcsrReader final : public net::IProcess {
@@ -51,30 +48,17 @@ class BcsrReader final : public net::IProcess {
              uint32_t object = 0);
 
   void start_read(Callback callback);
-  void on_message(const net::Envelope& env) override;
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
-  bool busy() const { return reading_; }
-  const ProcessId& id() const { return self_; }
-  uint64_t decode_failures() const { return decode_failures_; }
+  bool busy() const { return !mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
+  uint64_t decode_failures() const { return state_.decode_failures; }
 
  private:
-  void finish();
-
-  const ProcessId self_;
-  const SystemConfig config_;
-  net::Transport* const transport_;
+  OpMux mux_;
   const uint32_t object_;
   codec::MdsCode code_;
-
-  Bytes last_value_;  // falls back here when decoding is impossible
-
-  bool reading_{false};
-  uint64_t op_id_{0};
-  QuorumTracker responded_;
-  std::vector<std::optional<Bytes>> elements_;  // index = server position
-  Callback callback_;
-  TimeNs invoked_at_{0};
-  uint64_t decode_failures_{0};
+  LocalState state_;
 };
 
 }  // namespace bftreg::registers

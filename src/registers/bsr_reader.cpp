@@ -1,81 +1,21 @@
 #include "registers/bsr_reader.h"
 
 #include <cassert>
+#include <memory>
 
 namespace bftreg::registers {
 
 BsrReader::BsrReader(ProcessId self, SystemConfig config,
                      net::Transport* transport, uint32_t object)
-    : self_(self),
-      config_(std::move(config)),
-      transport_(transport),
+    : mux_(self, std::move(config), transport),
       object_(object),
-      responded_(config_.quorum()) {
-  local_ = TaggedValue{Tag::initial(), config_.initial_value};
-}
+      state_(LocalState::initial(mux_.config())) {}
 
 void BsrReader::start_read(Callback callback) {
-  assert(!reading_ && "at most one operation per client");
-  reading_ = true;
-  callback_ = std::move(callback);
-  invoked_at_ = transport_->now();
-  ++op_id_;
-  responded_.reset();
-  responses_.clear();
-
-  RegisterMessage query;
-  query.type = MsgType::kQueryData;
-  query.op_id = op_id_;
-  query.object = object_;
-  const Bytes payload = query.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void BsrReader::on_message(const net::Envelope& env) {
-  if (!reading_ || !env.from.is_server()) return;
-  auto msg = RegisterMessage::parse(env.payload);
-  if (!msg || msg->type != MsgType::kDataResp || msg->op_id != op_id_ ||
-      msg->object != object_) {
-    return;
-  }
-  if (!responded_.add(env.from)) return;
-  responses_.emplace(env.from, TaggedValue{msg->tag, std::move(msg->value)});
-  if (responded_.reached()) finish();
-}
-
-void BsrReader::finish() {
-  // P <- pairs with at least f+1 witnesses (Fig. 2 line 5).
-  std::map<TaggedValue, size_t> witnesses;
-  for (const auto& [server, pair] : responses_) ++witnesses[pair];
-
-  const TaggedValue* best = nullptr;
-  for (const auto& [pair, count] : witnesses) {
-    if (count >= config_.witness_threshold()) {
-      // std::map iterates in ascending order, so the last qualifying pair
-      // is the highest (Fig. 2 line 6).
-      best = &pair;
-    }
-  }
-
-  bool fresh = false;
-  if (best != nullptr && best->tag > local_.tag) {  // Fig. 2 line 7
-    local_ = *best;
-    fresh = true;
-  }
-
-  reading_ = false;
-  ReadResult result;
-  result.value = local_.value;
-  result.tag = local_.tag;
-  result.fresh = fresh;
-  result.invoked_at = invoked_at_;
-  result.completed_at = transport_->now();
-  result.rounds = 1;
-  Callback cb = std::move(callback_);
-  callback_ = nullptr;
-  if (cb) cb(result);
+  assert(!busy() && "at most one operation per client");
+  mux_.start(
+      std::make_unique<BsrReadOp>(mux_.config(), &state_, std::move(callback)),
+      OpKind::kBsrRead, object_);
 }
 
 }  // namespace bftreg::registers

@@ -9,28 +9,24 @@
 //
 // One round of client-to-server communication -- Definition 3's one-shot
 // read -- which is the paper's headline property.
+//
+// This class is the low-level, single-operation client: one object, one
+// operation at a time (start_read asserts the paper's well-formedness).
+// The protocol logic lives in BsrReadOp (protocol_ops.h); applications
+// wanting many concurrent operations should use RegisterClient (client.h),
+// which runs the same ops through the same multiplexer without the
+// one-at-a-time restriction.
 #pragma once
 
 #include <functional>
-#include <map>
-#include <unordered_map>
-#include <utility>
 
 #include "net/transport.h"
 #include "registers/config.h"
-#include "registers/messages.h"
-#include "registers/quorum.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
+#include "registers/results.h"
 
 namespace bftreg::registers {
-
-struct ReadResult {
-  Bytes value;
-  Tag tag;               // tag associated with the returned value
-  bool fresh{false};     // true iff P was non-empty and beat the local pair
-  TimeNs invoked_at{0};
-  TimeNs completed_at{0};
-  int rounds{1};
-};
 
 class BsrReader : public net::IProcess {
  public:
@@ -42,32 +38,19 @@ class BsrReader : public net::IProcess {
   /// Begins a read. Must run in this process's execution context.
   void start_read(Callback callback);
 
-  void on_message(const net::Envelope& env) override;
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
-  bool busy() const { return reading_; }
-  const ProcessId& id() const { return self_; }
+  bool busy() const { return !mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
 
   /// The reader's persistent local pair (t_local, v_local) of Fig. 2.
-  const Tag& local_tag() const { return local_.tag; }
-  const Bytes& local_value() const { return local_.value; }
+  const Tag& local_tag() const { return state_.local.tag; }
+  const Bytes& local_value() const { return state_.local.value; }
 
  private:
-  void finish();
-
-  const ProcessId self_;
-  const SystemConfig config_;
-  net::Transport* const transport_;
+  OpMux mux_;
   const uint32_t object_;
-
-  TaggedValue local_;  // persists across reads (Fig. 2 line 1)
-
-  bool reading_{false};
-  uint64_t op_id_{0};
-  QuorumTracker responded_;
-  /// First response per server this operation.
-  std::map<ProcessId, TaggedValue> responses_;
-  Callback callback_;
-  TimeNs invoked_at_{0};
+  LocalState state_;
 };
 
 }  // namespace bftreg::registers

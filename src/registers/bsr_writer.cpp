@@ -1,110 +1,35 @@
 #include "registers/bsr_writer.h"
 
-#include <algorithm>
 #include <cassert>
-
-#include "common/log.h"
+#include <memory>
+#include <utility>
 
 namespace bftreg::registers {
 
 BsrWriter::BsrWriter(ProcessId self, SystemConfig config,
                      net::Transport* transport, uint32_t object)
-    : self_(self),
-      config_(std::move(config)),
-      transport_(transport),
+    : mux_(self, std::move(config), transport),
       object_(object),
-      responded_(config_.quorum()) {}
+      state_(LocalState::initial(mux_.config())) {}
 
-void BsrWriter::send_to_all_servers(const RegisterMessage& msg) {
-  const Bytes payload = msg.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void BsrWriter::send_to_server(uint32_t index, const RegisterMessage& msg) {
-  transport_->send(self_, ProcessId::server(index), msg.encode());
-}
+BsrWriter::BsrWriter(ProcessId self, SystemConfig config,
+                     net::Transport* transport, uint32_t object,
+                     codec::MdsCode code)
+    : mux_(self, std::move(config), transport),
+      object_(object),
+      code_(std::move(code)),
+      state_(LocalState::initial(mux_.config())) {}
 
 void BsrWriter::start_write(Bytes value, Callback callback) {
-  assert(phase_ == Phase::kIdle && "at most one operation per client");
-  value_ = std::move(value);
-  callback_ = std::move(callback);
-  invoked_at_ = transport_->now();
-  ++op_id_;
-  phase_ = Phase::kGetTag;
-  responded_.reset();
-  tags_.clear();
-
-  RegisterMessage query;
-  query.type = MsgType::kQueryTag;
-  query.op_id = op_id_;
-  query.object = object_;
-  send_to_all_servers(query);
-}
-
-void BsrWriter::on_message(const net::Envelope& env) {
-  if (!env.from.is_server()) return;
-  auto msg = RegisterMessage::parse(env.payload);
-  if (!msg || msg->op_id != op_id_ || msg->object != object_) return;
-  switch (msg->type) {
-    case MsgType::kTagResp:
-      on_tag_resp(env.from, *msg);
-      break;
-    case MsgType::kAck:
-      on_ack(env.from, *msg);
-      break;
-    default:
-      break;
-  }
-}
-
-void BsrWriter::on_tag_resp(const ProcessId& from, const RegisterMessage& msg) {
-  if (phase_ != Phase::kGetTag) return;
-  if (!responded_.add(from)) return;  // Byzantine double-reply
-  tags_.push_back(msg.tag);
-  if (!responded_.reached()) return;
-
-  // Fig. 1 line 4: the (f+1)-th highest among the n-f collected tags.
-  std::sort(tags_.begin(), tags_.end(), std::greater<>());
-  const Tag base = tags_[std::min(config_.tag_rank(), tags_.size()) - 1];
-  write_tag_ = Tag{base.num + 1, self_};
-
-  phase_ = Phase::kPutData;
-  responded_.reset();
-  send_put_data(write_tag_);
-}
-
-void BsrWriter::send_put_data(const Tag& tag) {
-  RegisterMessage put;
-  put.type = MsgType::kPutData;
-  put.op_id = op_id_;
-  put.object = object_;
-  put.tag = tag;
-  put.value = value_;
-  send_to_all_servers(put);
-}
-
-void BsrWriter::on_ack(const ProcessId& from, const RegisterMessage& msg) {
-  if (phase_ != Phase::kPutData) return;
-  if (msg.tag != write_tag_) return;  // ack for something we did not send
-  if (!responded_.add(from)) return;
-  if (!responded_.reached()) return;
-  finish();
-}
-
-void BsrWriter::finish() {
-  phase_ = Phase::kIdle;
-  ++writes_completed_;
-  WriteResult result;
-  result.tag = write_tag_;
-  result.invoked_at = invoked_at_;
-  result.completed_at = transport_->now();
-  result.rounds = 2;
-  // Detach the callback before invoking: it may start the next write.
-  Callback cb = std::move(callback_);
-  callback_ = nullptr;
-  if (cb) cb(result);
+  assert(!busy() && "at most one operation per client");
+  mux_.start(std::make_unique<WriteOp>(
+                 mux_.config(), code_ ? &*code_ : nullptr, &state_,
+                 std::move(value),
+                 [this, cb = std::move(callback)](const WriteResult& result) {
+                   ++writes_completed_;
+                   if (cb) cb(result);
+                 }),
+             OpKind::kWrite, object_);
 }
 
 }  // namespace bftreg::registers

@@ -10,26 +10,23 @@
 //   put-data: (t.num + 1, w) with the new value to all servers, wait for
 //             n-f ACKs.
 //
-// The writer is a single-operation client (the model allows at most one
-// outstanding operation per client); start_write asserts non-concurrency.
+// This class is the low-level, single-operation client (start_write asserts
+// the paper's one-operation-per-client well-formedness). The protocol logic
+// lives in WriteOp (protocol_ops.h); applications wanting pipelined writes
+// should use RegisterClient (client.h).
 #pragma once
 
 #include <functional>
-#include <vector>
+#include <optional>
 
+#include "codec/mds_code.h"
 #include "net/transport.h"
 #include "registers/config.h"
-#include "registers/messages.h"
-#include "registers/quorum.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
+#include "registers/results.h"
 
 namespace bftreg::registers {
-
-struct WriteResult {
-  Tag tag;                 // the tag this write installed
-  TimeNs invoked_at{0};
-  TimeNs completed_at{0};
-  int rounds{2};           // get-tag + put-data
-};
 
 class BsrWriter : public net::IProcess {
  public:
@@ -44,42 +41,23 @@ class BsrWriter : public net::IProcess {
   /// (via Transport::post or from within one of its handlers).
   void start_write(Bytes value, Callback callback);
 
-  void on_message(const net::Envelope& env) override;
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
-  bool busy() const { return phase_ != Phase::kIdle; }
-  const ProcessId& id() const { return self_; }
+  bool busy() const { return !mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
   uint64_t writes_completed() const { return writes_completed_; }
 
  protected:
-  /// Sends PUT-DATA to every server. The replication flavor sends the same
-  /// (tag, value); BCSR overrides this to send per-server coded elements.
-  virtual void send_put_data(const Tag& tag);
-
-  void send_to_all_servers(const RegisterMessage& msg);
-  void send_to_server(uint32_t index, const RegisterMessage& msg);
-  uint64_t current_op_id() const { return op_id_; }
-  uint32_t object() const { return object_; }
-
-  const ProcessId self_;
-  const SystemConfig config_;
-  net::Transport* const transport_;
-  const uint32_t object_;
-  Bytes value_;  // the value being written, visible to send_put_data
+  /// BCSR flavor: put-data ships per-server coded elements of `code`
+  /// instead of the replicated value (Fig. 4 line 7).
+  BsrWriter(ProcessId self, SystemConfig config, net::Transport* transport,
+            uint32_t object, codec::MdsCode code);
 
  private:
-  enum class Phase { kIdle, kGetTag, kPutData };
-
-  void on_tag_resp(const ProcessId& from, const RegisterMessage& msg);
-  void on_ack(const ProcessId& from, const RegisterMessage& msg);
-  void finish();
-
-  Phase phase_{Phase::kIdle};
-  uint64_t op_id_{0};
-  QuorumTracker responded_;
-  std::vector<Tag> tags_;
-  Tag write_tag_{};
-  Callback callback_;
-  TimeNs invoked_at_{0};
+  OpMux mux_;
+  const uint32_t object_;
+  std::optional<codec::MdsCode> code_;  // nullopt = replicated put-data
+  LocalState state_;
   uint64_t writes_completed_{0};
 };
 

@@ -1,0 +1,133 @@
+#include "registers/client.h"
+
+#include <future>
+#include <memory>
+#include <utility>
+
+namespace bftreg::registers {
+
+const char* to_string(ProtocolVariant v) {
+  switch (v) {
+    case ProtocolVariant::kBsr:
+      return "bsr";
+    case ProtocolVariant::kBsrHistory:
+      return "bsr-history";
+    case ProtocolVariant::kBsrTwoRound:
+      return "bsr-2r";
+    case ProtocolVariant::kBsrWriteBack:
+      return "bsr-wb";
+    case ProtocolVariant::kBcsr:
+      return "bcsr";
+  }
+  return "?";
+}
+
+RegisterClient::RegisterClient(ProcessId self, SystemConfig config,
+                               net::Transport* transport, ClientOptions options)
+    : mux_(self, std::move(config), transport), options_(options) {
+  if (options_.variant == ProtocolVariant::kBcsr) {
+    assert(mux_.config().valid_for_bcsr());
+    code_ = codec::MdsCode::for_bcsr(mux_.config().n, mux_.config().f);
+  } else {
+    assert(mux_.config().valid_for_bsr());
+  }
+}
+
+LocalState& RegisterClient::state_for(uint32_t object) {
+  auto [it, inserted] =
+      states_.try_emplace(object, LocalState::initial(mux_.config()));
+  return it->second;
+}
+
+uint64_t RegisterClient::decode_failures() const {
+  uint64_t total = 0;
+  for (const auto& [object, state] : states_) total += state.decode_failures;
+  return total;
+}
+
+void RegisterClient::read(uint32_t object, ReadCallback cb) {
+  const SystemConfig& cfg = mux_.config();
+  LocalState* state = &state_for(object);
+  std::unique_ptr<PendingOp> op;
+  OpKind kind = OpKind::kBsrRead;
+  switch (options_.variant) {
+    case ProtocolVariant::kBsr:
+      op = std::make_unique<BsrReadOp>(cfg, state, std::move(cb));
+      kind = OpKind::kBsrRead;
+      break;
+    case ProtocolVariant::kBsrHistory:
+      op = std::make_unique<HistoryReadOp>(cfg, state, std::move(cb));
+      kind = OpKind::kHistoryRead;
+      break;
+    case ProtocolVariant::kBsrTwoRound:
+      op = std::make_unique<TwoRoundReadOp>(cfg, state, std::move(cb));
+      kind = OpKind::kTwoRoundRead;
+      break;
+    case ProtocolVariant::kBsrWriteBack:
+      op = std::make_unique<WriteBackReadOp>(cfg, state, std::move(cb));
+      kind = OpKind::kWriteBackRead;
+      break;
+    case ProtocolVariant::kBcsr:
+      op = std::make_unique<BcsrReadOp>(cfg, &*code_, state, std::move(cb));
+      kind = OpKind::kBcsrRead;
+      break;
+  }
+  mux_.start(std::move(op), kind, object, options_.retry);
+}
+
+void RegisterClient::write(uint32_t object, Bytes value, WriteCallback cb) {
+  mux_.start(std::make_unique<WriteOp>(mux_.config(),
+                                       code_ ? &*code_ : nullptr,
+                                       &state_for(object), std::move(value),
+                                       std::move(cb)),
+             OpKind::kWrite, object, options_.retry);
+}
+
+void RegisterClient::read_batch(std::vector<uint32_t> objects,
+                                BatchReadCallback cb) {
+  assert(options_.variant != ProtocolVariant::kBcsr &&
+         "batched reads need replicated storage");
+  assert(!objects.empty());
+  assert(objects.size() <= 4096 && "batch exceeds the server-side cap");
+  mux_.start(std::make_unique<BatchReadOp>(mux_.config(), &states_,
+                                           std::move(objects), std::move(cb)),
+             OpKind::kBatchRead, /*object=*/0, options_.retry);
+}
+
+// --- BlockingRegisterClient -------------------------------------------------
+
+ReadResult BlockingRegisterClient::read(uint32_t object) {
+  auto promise = std::make_shared<std::promise<ReadResult>>();
+  std::future<ReadResult> fut = promise->get_future();
+  client_.transport()->post(client_.id(), [this, object, promise] {
+    client_.read(object,
+                 [promise](const ReadResult& r) { promise->set_value(r); });
+  });
+  return fut.get();
+}
+
+WriteResult BlockingRegisterClient::write(uint32_t object, Bytes value) {
+  auto promise = std::make_shared<std::promise<WriteResult>>();
+  std::future<WriteResult> fut = promise->get_future();
+  client_.transport()->post(
+      client_.id(), [this, object, v = std::move(value), promise]() mutable {
+        client_.write(object, std::move(v),
+                      [promise](const WriteResult& r) { promise->set_value(r); });
+      });
+  return fut.get();
+}
+
+BatchReadResult BlockingRegisterClient::read_batch(
+    std::vector<uint32_t> objects) {
+  auto promise = std::make_shared<std::promise<BatchReadResult>>();
+  std::future<BatchReadResult> fut = promise->get_future();
+  client_.transport()->post(
+      client_.id(), [this, objs = std::move(objects), promise]() mutable {
+        client_.read_batch(std::move(objs), [promise](const BatchReadResult& r) {
+          promise->set_value(r);
+        });
+      });
+  return fut.get();
+}
+
+}  // namespace bftreg::registers

@@ -1,0 +1,125 @@
+// RegisterClient: the high-level client API of the register library.
+//
+// One object of this class is a full protocol client: pick a protocol
+// variant, point it at the server set, and issue reads/writes against any
+// number of shared variables -- concurrently. Where the low-level classes
+// (BsrReader, BsrWriter, ...) enforce the paper's one-operation-per-client
+// well-formedness, RegisterClient runs every operation through an
+// operation multiplexer (op_mux.h), so a single client sustains
+// dozens-to-hundreds of in-flight operations across many objects; each
+// operation keeps its own quorum/witness tallies, so the paper's
+// per-operation guarantees are untouched (see protocol_ops.h).
+//
+// Deadlines: construct with a RetryPolicy to bound every operation --
+// missed deadlines retransmit under the same op id (stragglers still
+// count) with multiplicative backoff, and an exhausted retry budget
+// completes the operation with its protocol's fallback state, flagged
+// result.timed_out. The default policy never times out, matching the
+// paper's asynchronous model.
+//
+//   auto config = SystemConfig::builder().n(5).f(1).build_for_bsr();
+//   RegisterClient client(ProcessId::reader(0), config.value(), &net);
+//   net.add_process(client.id(), &client);
+//   ...
+//   client.write(7, value, [](const WriteResult& r) { ... });
+//   client.read(7, [](const ReadResult& r) { ... });
+//   client.read_batch({1, 2, 3}, [](const BatchReadResult& r) { ... });
+//
+// All methods must run in the client's execution context (Transport::post
+// or a handler), like every protocol object in this repo.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "codec/mds_code.h"
+#include "net/transport.h"
+#include "registers/config.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
+#include "registers/results.h"
+
+namespace bftreg::registers {
+
+/// Which register emulation the client speaks (see registers.h for the
+/// paper mapping and the guarantee each buys).
+enum class ProtocolVariant : uint8_t {
+  kBsr = 0,        // replicated, one-shot safe reads (Section III)
+  kBsrHistory,     // one-shot regular reads via histories (III-C, option 1)
+  kBsrTwoRound,    // two-round regular reads (III-C, option 2)
+  kBsrWriteBack,   // two-round atomic reads (ABD write-back extension)
+  kBcsr,           // erasure-coded, one-shot safe reads (Section IV)
+};
+
+const char* to_string(ProtocolVariant v);
+
+struct ClientOptions {
+  ProtocolVariant variant{ProtocolVariant::kBsr};
+  /// Deadline/retry policy applied to every operation (0 = no deadlines).
+  RetryPolicy retry{};
+};
+
+class RegisterClient final : public net::IProcess {
+ public:
+  RegisterClient(ProcessId self, SystemConfig config, net::Transport* transport,
+                 ClientOptions options = {});
+
+  /// Begins a read of `object`; completion (or timeout fallback) is
+  /// reported through `cb`. Any number of operations may be in flight.
+  void read(uint32_t object, ReadCallback cb);
+
+  /// Begins write(value) on `object`.
+  void write(uint32_t object, Bytes value, WriteCallback cb);
+
+  /// Begins a one-round multi-get (replicated variants only; BCSR stores
+  /// coded elements, which the batch wire format does not carry).
+  void read_batch(std::vector<uint32_t> objects, BatchReadCallback cb);
+
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
+
+  size_t in_flight() const { return mux_.in_flight(); }
+  bool idle() const { return mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
+  const SystemConfig& config() const { return mux_.config(); }
+  net::Transport* transport() const { return mux_.transport(); }
+
+  /// Operations that exhausted their retry budget / deadline-triggered
+  /// retransmissions, across all operations of this client.
+  uint64_t timeouts() const { return mux_.timeouts(); }
+  uint64_t retransmits() const { return mux_.retransmits(); }
+  /// BCSR: reads that fell back because decoding was impossible.
+  uint64_t decode_failures() const;
+
+ private:
+  LocalState& state_for(uint32_t object);
+
+  OpMux mux_;
+  const ClientOptions options_;
+  std::optional<codec::MdsCode> code_;  // engaged iff variant == kBcsr
+  /// Per-object persistent state, shared by single and batched reads.
+  std::map<uint32_t, LocalState> states_;
+};
+
+/// Future-style blocking facade over RegisterClient for the real-time
+/// transports (ThreadNetwork, TcpNetwork): each call posts the operation
+/// into the client's mailbox and blocks the calling thread until it
+/// completes. Do NOT use under the deterministic simulator -- there is no
+/// independent scheduler thread to make progress, so the wait would
+/// deadlock. Any number of application threads may call concurrently; the
+/// client's mailbox serializes the protocol work.
+class BlockingRegisterClient {
+ public:
+  explicit BlockingRegisterClient(RegisterClient& client) : client_(client) {}
+
+  ReadResult read(uint32_t object);
+  WriteResult write(uint32_t object, Bytes value);
+  BatchReadResult read_batch(std::vector<uint32_t> objects);
+
+ private:
+  RegisterClient& client_;
+};
+
+}  // namespace bftreg::registers

@@ -3,8 +3,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/types.h"
 
 namespace bftreg::registers {
@@ -85,6 +88,103 @@ struct SystemConfig {
 
   /// RB-based baseline requirement (Bracha broadcast bound).
   bool valid_for_rb() const { return n >= rb_min_servers(f); }
+
+  class Builder;
+  /// Fluent construction with centralized validation; the build_for_*
+  /// terminals return Result instead of asserting, so tools and examples
+  /// can report a bad (n, f) instead of aborting.
+  static Builder builder();
 };
+
+/// Validating builder for SystemConfig.
+///
+///   auto config = SystemConfig::builder().n(5).f(1).build_for_bsr();
+///   if (!config) { ...config.error().detail... }
+///
+/// Validation is centralized here -- the bound checks delegate to the same
+/// bsr_min_servers/bcsr_min_servers/rb_min_servers helpers the protocols
+/// use (the only place the paper's k*f+1 literals may appear), so builder
+/// and protocol can never disagree on a resilience bound.
+class SystemConfig::Builder {
+ public:
+  Builder& n(size_t value) { config_.n = value; return *this; }
+  Builder& f(size_t value) { config_.f = value; return *this; }
+  Builder& initial_value(Bytes value) {
+    config_.initial_value = std::move(value);
+    return *this;
+  }
+  Builder& store_policy(StorePolicy value) {
+    config_.store_policy = value;
+    return *this;
+  }
+  Builder& witness_threshold_override(size_t value) {
+    config_.witness_threshold_override = value;
+    return *this;
+  }
+  Builder& tag_rank_override(size_t value) {
+    config_.tag_rank_override = value;
+    return *this;
+  }
+  Builder& max_history(size_t value) { config_.max_history = value; return *this; }
+
+  /// Protocol-independent sanity only (clients of build() must check the
+  /// protocol bound themselves; prefer the build_for_* terminals).
+  Result<SystemConfig> build() const {
+    if (config_.n == 0) {
+      return Error{Errc::kInvalidArgument, "n must be positive"};
+    }
+    if (config_.f >= config_.n) {
+      return Error{Errc::kInvalidArgument,
+                   "f=" + std::to_string(config_.f) + " leaves no quorum at n=" +
+                       std::to_string(config_.n)};
+    }
+    // Ablation overrides above the quorum size would wait for more
+    // identical answers than responses collected: the operation never
+    // completes. Reject rather than hang.
+    if (config_.witness_threshold_override > config_.quorum()) {
+      return Error{Errc::kInvalidArgument,
+                   "witness threshold override exceeds the quorum n-f"};
+    }
+    if (config_.tag_rank_override > config_.quorum()) {
+      return Error{Errc::kInvalidArgument,
+                   "tag rank override exceeds the quorum n-f"};
+    }
+    return config_;
+  }
+
+  /// BSR: n >= 4f+1 (Theorems 2 and 5).
+  Result<SystemConfig> build_for_bsr() const {
+    return build_bounded(bsr_min_servers(config_.f), "BSR");
+  }
+
+  /// BCSR: n >= 5f+1 (Lemma 4 and Theorem 6).
+  Result<SystemConfig> build_for_bcsr() const {
+    return build_bounded(bcsr_min_servers(config_.f), "BCSR");
+  }
+
+  /// RB baseline: n >= 3f+1 (Bracha broadcast bound).
+  Result<SystemConfig> build_for_rb() const {
+    return build_bounded(rb_min_servers(config_.f), "RB");
+  }
+
+ private:
+  Result<SystemConfig> build_bounded(size_t min_servers,
+                                     const char* protocol) const {
+    auto base = build();
+    if (!base) return base;
+    if (config_.n < min_servers) {
+      return Error{Errc::kInvalidArgument,
+                   std::string(protocol) + " needs n >= " +
+                       std::to_string(min_servers) + " at f=" +
+                       std::to_string(config_.f) + ", got n=" +
+                       std::to_string(config_.n)};
+    }
+    return base;
+  }
+
+  SystemConfig config_{};
+};
+
+inline SystemConfig::Builder SystemConfig::builder() { return Builder{}; }
 
 }  // namespace bftreg::registers

@@ -1,79 +1,21 @@
 #include "registers/history_reader.h"
 
 #include <cassert>
-#include <set>
+#include <memory>
 
 namespace bftreg::registers {
 
 HistoryReader::HistoryReader(ProcessId self, SystemConfig config,
                              net::Transport* transport, uint32_t object)
-    : self_(self),
-      config_(std::move(config)),
-      transport_(transport),
+    : mux_(self, std::move(config), transport),
       object_(object),
-      responded_(config_.quorum()) {
-  local_ = TaggedValue{Tag::initial(), config_.initial_value};
-}
+      state_(LocalState::initial(mux_.config())) {}
 
 void HistoryReader::start_read(Callback callback) {
-  assert(!reading_ && "at most one operation per client");
-  reading_ = true;
-  callback_ = std::move(callback);
-  invoked_at_ = transport_->now();
-  ++op_id_;
-  responded_.reset();
-  witnesses_.clear();
-
-  RegisterMessage query;
-  query.type = MsgType::kQueryHistory;
-  query.op_id = op_id_;
-  query.object = object_;
-  const Bytes payload = query.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void HistoryReader::on_message(const net::Envelope& env) {
-  if (!reading_ || !env.from.is_server()) return;
-  auto msg = RegisterMessage::parse(env.payload);
-  if (!msg || msg->type != MsgType::kHistoryResp || msg->op_id != op_id_ ||
-      msg->object != object_) {
-    return;
-  }
-  if (!responded_.add(env.from)) return;
-
-  // A server witnesses each *distinct* pair in its history once; a
-  // Byzantine history repeating one pair a thousand times counts once.
-  std::set<TaggedValue> distinct(msg->history.begin(), msg->history.end());
-  for (const auto& pair : distinct) ++witnesses_[pair];
-
-  if (responded_.reached()) finish();
-}
-
-void HistoryReader::finish() {
-  const TaggedValue* best = nullptr;
-  for (const auto& [pair, count] : witnesses_) {
-    if (count >= config_.witness_threshold()) best = &pair;  // ascending map
-  }
-
-  bool fresh = false;
-  if (best != nullptr && best->tag > local_.tag) {
-    local_ = *best;
-    fresh = true;
-  }
-
-  reading_ = false;
-  ReadResult result;
-  result.value = local_.value;
-  result.tag = local_.tag;
-  result.fresh = fresh;
-  result.invoked_at = invoked_at_;
-  result.completed_at = transport_->now();
-  result.rounds = 1;
-  Callback cb = std::move(callback_);
-  callback_ = nullptr;
-  if (cb) cb(result);
+  assert(!busy() && "at most one operation per client");
+  mux_.start(std::make_unique<HistoryReadOp>(mux_.config(), &state_,
+                                             std::move(callback)),
+             OpKind::kHistoryRead, object_);
 }
 
 }  // namespace bftreg::registers

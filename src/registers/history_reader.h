@@ -13,16 +13,18 @@
 //
 // Costs: server-to-reader bandwidth grows with the history length
 // (bench_regularity and bench_storage_comm quantify this against BSR).
+//
+// Low-level single-operation client; protocol logic in HistoryReadOp
+// (protocol_ops.h), multiplexed flavor in RegisterClient (client.h).
 #pragma once
 
 #include <functional>
-#include <map>
 
 #include "net/transport.h"
-#include "registers/bsr_reader.h"
 #include "registers/config.h"
-#include "registers/messages.h"
-#include "registers/quorum.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
+#include "registers/results.h"
 
 namespace bftreg::registers {
 
@@ -34,30 +36,16 @@ class HistoryReader final : public net::IProcess {
                 uint32_t object = 0);
 
   void start_read(Callback callback);
-  void on_message(const net::Envelope& env) override;
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
-  bool busy() const { return reading_; }
-  const ProcessId& id() const { return self_; }
-  const Tag& local_tag() const { return local_.tag; }
+  bool busy() const { return !mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
+  const Tag& local_tag() const { return state_.local.tag; }
 
  private:
-  void finish();
-
-  const ProcessId self_;
-  const SystemConfig config_;
-  net::Transport* const transport_;
+  OpMux mux_;
   const uint32_t object_;
-
-  TaggedValue local_;
-
-  bool reading_{false};
-  uint64_t op_id_{0};
-  QuorumTracker responded_;
-  /// Witness counts: pair -> number of distinct servers whose history
-  /// contains it this operation.
-  std::map<TaggedValue, size_t> witnesses_;
-  Callback callback_;
-  TimeNs invoked_at_{0};
+  LocalState state_;
 };
 
 }  // namespace bftreg::registers

@@ -1,0 +1,248 @@
+// Per-protocol operation state machines for the operation multiplexer.
+//
+// Each class is one in-flight operation of one protocol flavor: the
+// request it sends, the witness/decode logic that tallies responses, and
+// the fallback it completes with on timeout. Operation bookkeeping (ids,
+// routing, deadlines, retransmission) lives in OpMux; everything here is a
+// direct transcription of the corresponding figure of the paper, unchanged
+// from the single-operation clients it was factored out of.
+//
+// Why multiplexing preserves the paper's guarantees: the witness rule
+// (f+1 identical reports pin an honest server, Lemma 1/Lemma 5) and the
+// quorum bound (n-f responses, Lemma 6) are counted *per operation* over
+// that operation's own QuorumTracker and response map. Concurrent
+// operations of one client never share tallies -- they are
+// indistinguishable, on the wire and in the proofs, from operations of
+// that many distinct well-formed clients. The only cross-operation state
+// is the monotone local pair (Fig. 2 line 1), which is per object and only
+// ever advances, and the writer's tag floor (below), which exists to keep
+// a client's concurrent writes on distinct tags.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "codec/mds_code.h"
+#include "registers/op_mux.h"
+#include "registers/quorum.h"
+#include "registers/results.h"
+
+namespace bftreg::registers {
+
+/// Per-(client, object) state persisting across operations.
+struct LocalState {
+  /// The reader's monotone local pair (t_local, v_local) of Fig. 2 line 1.
+  TaggedValue local;
+  /// BCSR: the last successfully decoded value (Fig. 5's fallback).
+  Bytes last_decoded;
+  uint64_t decode_failures{0};
+  /// Highest tag number this client has issued a write under for this
+  /// object. A client pipelining writes to one object must not reuse a tag
+  /// (two concurrent get-tag phases could otherwise both pick the same
+  /// base); each write takes max(base.num, floor) + 1 and raises the floor.
+  uint64_t last_issued_num{0};
+
+  static LocalState initial(const SystemConfig& config) {
+    return LocalState{TaggedValue{Tag::initial(), config.initial_value},
+                      config.initial_value, 0, 0};
+  }
+};
+
+using ReadCallback = std::function<void(const ReadResult&)>;
+using WriteCallback = std::function<void(const WriteResult&)>;
+using BatchReadCallback = std::function<void(const BatchReadResult&)>;
+
+/// BSR one-shot read (Fig. 2): one QUERY-DATA round, f+1-witness selection.
+class BsrReadOp final : public PendingOp {
+ public:
+  BsrReadOp(const SystemConfig& config, LocalState* state, ReadCallback cb)
+      : state_(state), cb_(std::move(cb)), responded_(config.quorum()) {}
+
+ protected:
+  void send_request() override;
+  void on_response(const ProcessId& from, RegisterMessage msg) override;
+  void on_timeout() override;
+
+ private:
+  void finish();
+  void complete(bool fresh);
+
+  LocalState* const state_;
+  ReadCallback cb_;
+  QuorumTracker responded_;
+  std::map<ProcessId, TaggedValue> responses_;
+};
+
+/// BCSR one-shot coded read (Fig. 5): collect n-f elements, run the
+/// error-correcting decoder, fall back to the last decodable value.
+class BcsrReadOp final : public PendingOp {
+ public:
+  BcsrReadOp(const SystemConfig& config, const codec::MdsCode* code,
+             LocalState* state, ReadCallback cb)
+      : code_(code),
+        state_(state),
+        cb_(std::move(cb)),
+        responded_(config.quorum()),
+        elements_(config.n) {}
+
+ protected:
+  void send_request() override;
+  void on_response(const ProcessId& from, RegisterMessage msg) override;
+  void on_timeout() override;
+
+ private:
+  void complete(bool fresh);
+
+  const codec::MdsCode* const code_;
+  LocalState* const state_;
+  ReadCallback cb_;
+  QuorumTracker responded_;
+  std::vector<std::optional<Bytes>> elements_;  // index = server position
+};
+
+/// History-based regular read (Section III-C, option 1): one
+/// QUERY-HISTORY round; a server witnesses every pair in its history.
+class HistoryReadOp final : public PendingOp {
+ public:
+  HistoryReadOp(const SystemConfig& config, LocalState* state, ReadCallback cb)
+      : state_(state), cb_(std::move(cb)), responded_(config.quorum()) {}
+
+ protected:
+  void send_request() override;
+  void on_response(const ProcessId& from, RegisterMessage msg) override;
+  void on_timeout() override;
+
+ private:
+  void finish();
+  void complete(bool fresh);
+
+  LocalState* const state_;
+  ReadCallback cb_;
+  QuorumTracker responded_;
+  std::map<TaggedValue, size_t> witnesses_;
+};
+
+/// Two-round regular read (Section III-C, option 2): get-tag over
+/// histories, then get-data for the chosen tag.
+class TwoRoundReadOp final : public PendingOp {
+ public:
+  TwoRoundReadOp(const SystemConfig& config, LocalState* state, ReadCallback cb)
+      : state_(state), cb_(std::move(cb)), responded_(config.quorum()) {}
+
+ protected:
+  void send_request() override;
+  void on_response(const ProcessId& from, RegisterMessage msg) override;
+  void on_timeout() override;
+
+ private:
+  enum class Phase { kGetTag, kGetData };
+
+  void on_tag_history(const ProcessId& from, const RegisterMessage& msg);
+  void on_data_at(const ProcessId& from, const RegisterMessage& msg);
+  void begin_get_data();
+  void send_read_done();
+  void complete(bool fresh);
+
+  LocalState* const state_;
+  ReadCallback cb_;
+  Phase phase_{Phase::kGetTag};
+  QuorumTracker responded_;
+  std::map<Tag, std::set<ProcessId>> tag_votes_;
+  Tag target_{};
+  std::map<Bytes, std::set<ProcessId>> value_votes_;
+};
+
+/// Write-back atomic read (library extension): Fig. 2's get-data, then the
+/// chosen pair is written back to a quorum before returning.
+class WriteBackReadOp final : public PendingOp {
+ public:
+  WriteBackReadOp(const SystemConfig& config, LocalState* state, ReadCallback cb)
+      : state_(state), cb_(std::move(cb)), responded_(config.quorum()) {}
+
+ protected:
+  void send_request() override;
+  void on_response(const ProcessId& from, RegisterMessage msg) override;
+  void on_timeout() override;
+
+ private:
+  enum class Phase { kGetData, kWriteBack };
+
+  void begin_write_back();
+  void complete(bool fresh);
+
+  LocalState* const state_;
+  ReadCallback cb_;
+  Phase phase_{Phase::kGetData};
+  QuorumTracker responded_;
+  std::map<ProcessId, TaggedValue> responses_;
+  bool fresh_{false};
+};
+
+/// Write (Fig. 1 / Fig. 4): get-tag with rank-(f+1) selection, then
+/// put-data -- replicated when `code` is null, per-server coded elements
+/// (Fig. 4 line 7) otherwise.
+class WriteOp final : public PendingOp {
+ public:
+  WriteOp(const SystemConfig& config, const codec::MdsCode* code,
+          LocalState* state, Bytes value, WriteCallback cb)
+      : code_(code),
+        state_(state),
+        value_(std::move(value)),
+        cb_(std::move(cb)),
+        responded_(config.quorum()) {}
+
+ protected:
+  void send_request() override;
+  void on_response(const ProcessId& from, RegisterMessage msg) override;
+  void on_timeout() override;
+
+ private:
+  enum class Phase { kGetTag, kPutData };
+
+  void on_tag_resp(const ProcessId& from, const RegisterMessage& msg);
+  void on_ack(const ProcessId& from, const RegisterMessage& msg);
+  void send_put_data();
+  void complete();
+
+  const codec::MdsCode* const code_;  // null = replicated put
+  LocalState* const state_;
+  Bytes value_;
+  WriteCallback cb_;
+  Phase phase_{Phase::kGetTag};
+  QuorumTracker responded_;
+  std::vector<Tag> tags_;
+  Tag write_tag_{};
+};
+
+/// Batched multi-object one-shot read (library extension): one round, one
+/// request/response per server, Fig. 2's witness selection per object.
+class BatchReadOp final : public PendingOp {
+ public:
+  BatchReadOp(const SystemConfig& config, std::map<uint32_t, LocalState>* states,
+              std::vector<uint32_t> objects, BatchReadCallback cb)
+      : states_(states),
+        objects_(std::move(objects)),
+        cb_(std::move(cb)),
+        responded_(config.quorum()) {}
+
+ protected:
+  void send_request() override;
+  void on_response(const ProcessId& from, RegisterMessage msg) override;
+  void on_timeout() override;
+
+ private:
+  void complete();
+
+  /// Shared per-object local pairs; lazily initialized so batch reads and
+  /// single-object reads through the same client stay mutually monotone.
+  std::map<uint32_t, LocalState>* const states_;
+  std::vector<uint32_t> objects_;
+  BatchReadCallback cb_;
+  QuorumTracker responded_;
+  std::map<ProcessId, std::vector<TaggedValue>> responses_;
+};
+
+}  // namespace bftreg::registers

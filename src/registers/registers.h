@@ -1,6 +1,19 @@
 // Umbrella header: the public API of the register library.
 //
-// Protocols provided (see DESIGN.md for the paper mapping):
+// Two layers:
+//
+//   High-level (start here): RegisterClient (client.h) -- one client
+//     object per process, constructed from a SystemConfig (see
+//     SystemConfig::Builder) plus a ProtocolVariant, offering
+//     read/write/read_batch over any number of objects with any number of
+//     operations in flight, deadline-based timeouts and capped retries.
+//     BlockingRegisterClient wraps it future-style for the real-time
+//     transports.
+//
+//   Low-level (the paper's one-operation-per-client state machines, kept
+//     for the protocol tests, benches, and anyone wanting the figures
+//     verbatim; they run the same protocol ops through the same
+//     multiplexer, restricted to one operation at a time):
 //   BsrWriter/BsrReader + RegisterServer  -- MWMR replicated safe register,
 //     one-shot reads, n >= 4f+1 (Section III).
 //   BcsrWriter/BcsrReader + RegisterServer -- SWMR erasure-coded safe
@@ -20,10 +33,14 @@
 #include "registers/bcsr.h"            // IWYU pragma: export
 #include "registers/bsr_reader.h"      // IWYU pragma: export
 #include "registers/bsr_writer.h"      // IWYU pragma: export
+#include "registers/client.h"          // IWYU pragma: export
 #include "registers/config.h"          // IWYU pragma: export
 #include "registers/history_reader.h"  // IWYU pragma: export
 #include "registers/messages.h"        // IWYU pragma: export
+#include "registers/op_mux.h"          // IWYU pragma: export
+#include "registers/protocol_ops.h"    // IWYU pragma: export
 #include "registers/rb_register.h"     // IWYU pragma: export
+#include "registers/results.h"         // IWYU pragma: export
 #include "registers/server.h"          // IWYU pragma: export
 #include "registers/two_round_reader.h"  // IWYU pragma: export
 #include "registers/writeback_reader.h"  // IWYU pragma: export

@@ -1,0 +1,46 @@
+// Unified operation results for all register clients.
+//
+// Every client operation -- read, write, batched read, across every
+// protocol variant -- reports the same bookkeeping spine (`OpResult`):
+// invocation/completion timestamps, round count, and the deadline/retry
+// outcome maintained by the operation multiplexer (op_mux.h). Protocol
+// flavors extend it with their payload fields only, so harnesses and
+// benches consume one shape instead of three near-duplicates.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftreg::registers {
+
+/// Bookkeeping common to every operation, filled in by the multiplexer.
+struct OpResult {
+  TimeNs invoked_at{0};
+  TimeNs completed_at{0};
+  /// Client-to-server communication rounds this operation used.
+  int rounds{1};
+  /// True iff the operation exhausted its retry budget and completed with
+  /// fallback state instead of a quorum-backed outcome.
+  bool timed_out{false};
+  /// Retransmissions performed (0 on the fast path).
+  uint32_t retries{0};
+};
+
+struct ReadResult : OpResult {
+  Bytes value;
+  Tag tag;            // tag associated with the returned value
+  bool fresh{false};  // true iff a witnessed pair beat the local pair
+};
+
+struct WriteResult : OpResult {
+  Tag tag;  // the tag this write installed
+  WriteResult() { rounds = 2; }  // get-tag + put-data
+};
+
+struct BatchReadResult : OpResult {
+  /// Per-object results, aligned with the requested object list.
+  std::vector<ReadResult> results;
+};
+
+}  // namespace bftreg::registers

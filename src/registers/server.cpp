@@ -224,10 +224,15 @@ void RegisterServer::handle_query_data_batch(const ProcessId& from,
 
 void RegisterServer::handle_read_done(const ProcessId& from,
                                       const RegisterMessage& req) {
+  // Exact-match on the op id: ids are namespaced per (client, object,
+  // protocol) and therefore NOT monotone across a client's concurrent
+  // operations -- a range erase (op_id <= done id) would cancel deferred
+  // replies belonging to that client's still-running reads in other
+  // namespaces.
   for (auto it = deferred_.begin(); it != deferred_.end();) {
     auto& waiters = it->second;
     std::erase_if(waiters, [&](const auto& w) {
-      return w.first == from && w.second <= req.op_id;
+      return w.first == from && w.second == req.op_id;
     });
     it = waiters.empty() ? deferred_.erase(it) : std::next(it);
   }

@@ -1,124 +1,21 @@
 #include "registers/two_round_reader.h"
 
 #include <cassert>
+#include <memory>
 
 namespace bftreg::registers {
 
 TwoRoundReader::TwoRoundReader(ProcessId self, SystemConfig config,
                                net::Transport* transport, uint32_t object)
-    : self_(self),
-      config_(std::move(config)),
-      transport_(transport),
+    : mux_(self, std::move(config), transport),
       object_(object),
-      responded_(config_.quorum()) {
-  local_ = TaggedValue{Tag::initial(), config_.initial_value};
-}
+      state_(LocalState::initial(mux_.config())) {}
 
 void TwoRoundReader::start_read(Callback callback) {
-  assert(phase_ == Phase::kIdle && "at most one operation per client");
-  phase_ = Phase::kGetTag;
-  callback_ = std::move(callback);
-  invoked_at_ = transport_->now();
-  ++op_id_;
-  responded_.reset();
-  tag_votes_.clear();
-  value_votes_.clear();
-
-  RegisterMessage query;
-  query.type = MsgType::kQueryTagHistory;
-  query.op_id = op_id_;
-  query.object = object_;
-  const Bytes payload = query.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void TwoRoundReader::on_message(const net::Envelope& env) {
-  if (!env.from.is_server()) return;
-  auto msg = RegisterMessage::parse(env.payload);
-  if (!msg || msg->op_id != op_id_ || msg->object != object_) return;
-  switch (msg->type) {
-    case MsgType::kTagHistoryResp:
-      on_tag_history(env.from, *msg);
-      break;
-    case MsgType::kDataAtResp:
-      on_data_at(env.from, *msg);
-      break;
-    case MsgType::kDataAtMissing:
-      // Provisional: the server will answer again when it learns the tag.
-      break;
-    default:
-      break;
-  }
-}
-
-void TwoRoundReader::on_tag_history(const ProcessId& from,
-                                    const RegisterMessage& msg) {
-  if (phase_ != Phase::kGetTag) return;
-  if (!responded_.add(from)) return;
-  for (const Tag& t : msg.tags) tag_votes_[t].insert(from);
-  if (responded_.reached()) begin_get_data();
-}
-
-void TwoRoundReader::begin_get_data() {
-  // Largest tag vouched by >= f+1 servers. t0 always qualifies (every
-  // honest server's history contains it), so a target always exists.
-  target_ = Tag::initial();
-  for (const auto& [tag, voters] : tag_votes_) {
-    if (voters.size() >= config_.witness_threshold()) target_ = tag;  // ascending
-  }
-
-  phase_ = Phase::kGetData;
-  RegisterMessage query;
-  query.type = MsgType::kQueryDataAt;
-  query.op_id = op_id_;
-  query.object = object_;
-  query.tag = target_;
-  const Bytes payload = query.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void TwoRoundReader::on_data_at(const ProcessId& from, const RegisterMessage& msg) {
-  if (phase_ != Phase::kGetData) return;
-  if (msg.tag != target_) return;  // Byzantine answer for a different tag
-  auto& voters = value_votes_[msg.value];
-  voters.insert(from);
-  if (voters.size() < config_.witness_threshold()) return;
-
-  bool fresh = false;
-  if (target_ > local_.tag) {
-    local_ = TaggedValue{target_, msg.value};
-    fresh = true;
-  }
-  finish(fresh);
-}
-
-void TwoRoundReader::finish(bool fresh) {
-  phase_ = Phase::kIdle;
-
-  // Cancel the deferred QUERY-DATA-AT replies left behind at the servers.
-  RegisterMessage done;
-  done.type = MsgType::kReadDone;
-  done.op_id = op_id_;
-  done.object = object_;
-  const Bytes payload = done.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-
-  ReadResult result;
-  result.value = local_.value;
-  result.tag = local_.tag;
-  result.fresh = fresh;
-  result.invoked_at = invoked_at_;
-  result.completed_at = transport_->now();
-  result.rounds = 2;
-  Callback cb = std::move(callback_);
-  callback_ = nullptr;
-  if (cb) cb(result);
+  assert(!busy() && "at most one operation per client");
+  mux_.start(std::make_unique<TwoRoundReadOp>(mux_.config(), &state_,
+                                              std::move(callback)),
+             OpKind::kTwoRoundRead, object_);
 }
 
 }  // namespace bftreg::registers

@@ -18,17 +18,18 @@
 // identifies exactly this all-or-none gap as the price of dropping
 // reliable broadcast, and defers the full treatment to a technical
 // report. bench_regularity exercises the non-crashing schedules.
+//
+// Low-level single-operation client; protocol logic in TwoRoundReadOp
+// (protocol_ops.h), multiplexed flavor in RegisterClient (client.h).
 #pragma once
 
 #include <functional>
-#include <map>
-#include <set>
 
 #include "net/transport.h"
-#include "registers/bsr_reader.h"
 #include "registers/config.h"
-#include "registers/messages.h"
-#include "registers/quorum.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
+#include "registers/results.h"
 
 namespace bftreg::registers {
 
@@ -40,37 +41,16 @@ class TwoRoundReader final : public net::IProcess {
                  uint32_t object = 0);
 
   void start_read(Callback callback);
-  void on_message(const net::Envelope& env) override;
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
-  bool busy() const { return phase_ != Phase::kIdle; }
-  const ProcessId& id() const { return self_; }
-  const Tag& local_tag() const { return local_.tag; }
+  bool busy() const { return !mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
+  const Tag& local_tag() const { return state_.local.tag; }
 
  private:
-  enum class Phase { kIdle, kGetTag, kGetData };
-
-  void on_tag_history(const ProcessId& from, const RegisterMessage& msg);
-  void on_data_at(const ProcessId& from, const RegisterMessage& msg);
-  void begin_get_data();
-  void finish(bool fresh);
-
-  const ProcessId self_;
-  const SystemConfig config_;
-  net::Transport* const transport_;
+  OpMux mux_;
   const uint32_t object_;
-
-  TaggedValue local_;
-
-  Phase phase_{Phase::kIdle};
-  uint64_t op_id_{0};
-  QuorumTracker responded_;
-  /// Phase 1: tag -> distinct servers listing it.
-  std::map<Tag, std::set<ProcessId>> tag_votes_;
-  Tag target_{};
-  /// Phase 2: value -> distinct servers returning (target_, value).
-  std::map<Bytes, std::set<ProcessId>> value_votes_;
-  Callback callback_;
-  TimeNs invoked_at_{0};
+  LocalState state_;
 };
 
 }  // namespace bftreg::registers

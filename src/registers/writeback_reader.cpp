@@ -1,112 +1,21 @@
 #include "registers/writeback_reader.h"
 
 #include <cassert>
+#include <memory>
 
 namespace bftreg::registers {
 
 WriteBackReader::WriteBackReader(ProcessId self, SystemConfig config,
                                  net::Transport* transport, uint32_t object)
-    : self_(self),
-      config_(std::move(config)),
-      transport_(transport),
+    : mux_(self, std::move(config), transport),
       object_(object),
-      responded_(config_.quorum()) {
-  local_ = TaggedValue{Tag::initial(), config_.initial_value};
-}
+      state_(LocalState::initial(mux_.config())) {}
 
 void WriteBackReader::start_read(Callback callback) {
-  assert(phase_ == Phase::kIdle && "at most one operation per client");
-  phase_ = Phase::kGetData;
-  callback_ = std::move(callback);
-  invoked_at_ = transport_->now();
-  ++op_id_;
-  responded_.reset();
-  responses_.clear();
-  fresh_ = false;
-
-  RegisterMessage query;
-  query.type = MsgType::kQueryData;
-  query.op_id = op_id_;
-  query.object = object_;
-  const Bytes payload = query.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void WriteBackReader::on_message(const net::Envelope& env) {
-  if (!env.from.is_server()) return;
-  auto msg = RegisterMessage::parse(env.payload);
-  if (!msg || msg->op_id != op_id_ || msg->object != object_) return;
-  switch (msg->type) {
-    case MsgType::kDataResp:
-      on_data_resp(env.from, *msg);
-      break;
-    case MsgType::kAck:
-      on_ack(env.from, *msg);
-      break;
-    default:
-      break;
-  }
-}
-
-void WriteBackReader::on_data_resp(const ProcessId& from,
-                                   const RegisterMessage& msg) {
-  if (phase_ != Phase::kGetData) return;
-  if (!responded_.add(from)) return;
-  responses_.emplace(from, TaggedValue{msg.tag, msg.value});
-  if (responded_.reached()) begin_write_back();
-}
-
-void WriteBackReader::begin_write_back() {
-  // Fig. 2's selection: the highest pair with f+1 witnesses, if it beats
-  // the local pair.
-  std::map<TaggedValue, size_t> witnesses;
-  for (const auto& [server, pair] : responses_) ++witnesses[pair];
-  const TaggedValue* best = nullptr;
-  for (const auto& [pair, count] : witnesses) {
-    if (count >= config_.witness_threshold()) best = &pair;  // ascending map
-  }
-  if (best != nullptr && best->tag > local_.tag) {
-    local_ = *best;
-    fresh_ = true;
-  }
-
-  // Phase two: write the chosen pair back before returning it, pinning
-  // every later read's quorum to at least this pair.
-  phase_ = Phase::kWriteBack;
-  responded_.reset();
-  RegisterMessage put;
-  put.type = MsgType::kPutData;
-  put.op_id = op_id_;
-  put.object = object_;
-  put.tag = local_.tag;
-  put.value = local_.value;
-  const Bytes payload = put.encode();
-  for (uint32_t i = 0; i < config_.n; ++i) {
-    transport_->send(self_, ProcessId::server(i), payload);
-  }
-}
-
-void WriteBackReader::on_ack(const ProcessId& from, const RegisterMessage& msg) {
-  if (phase_ != Phase::kWriteBack) return;
-  if (msg.tag != local_.tag) return;
-  if (!responded_.add(from)) return;
-  if (responded_.reached()) finish(fresh_);
-}
-
-void WriteBackReader::finish(bool fresh) {
-  phase_ = Phase::kIdle;
-  ReadResult result;
-  result.value = local_.value;
-  result.tag = local_.tag;
-  result.fresh = fresh;
-  result.invoked_at = invoked_at_;
-  result.completed_at = transport_->now();
-  result.rounds = 2;
-  Callback cb = std::move(callback_);
-  callback_ = nullptr;
-  if (cb) cb(result);
+  assert(!busy() && "at most one operation per client");
+  mux_.start(std::make_unique<WriteBackReadOp>(mux_.config(), &state_,
+                                               std::move(callback)),
+             OpKind::kWriteBackRead, object_);
 }
 
 }  // namespace bftreg::registers

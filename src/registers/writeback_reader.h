@@ -13,16 +13,18 @@
 // Costs exactly what the impossibility theorem says it must: the read is
 // two rounds, not one. bench_read_latency and bench_regularity put the
 // price next to what it buys.
+//
+// Low-level single-operation client; protocol logic in WriteBackReadOp
+// (protocol_ops.h), multiplexed flavor in RegisterClient (client.h).
 #pragma once
 
 #include <functional>
-#include <map>
 
 #include "net/transport.h"
-#include "registers/bsr_reader.h"
 #include "registers/config.h"
-#include "registers/messages.h"
-#include "registers/quorum.h"
+#include "registers/op_mux.h"
+#include "registers/protocol_ops.h"
+#include "registers/results.h"
 
 namespace bftreg::registers {
 
@@ -34,34 +36,16 @@ class WriteBackReader final : public net::IProcess {
                   uint32_t object = 0);
 
   void start_read(Callback callback);
-  void on_message(const net::Envelope& env) override;
+  void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
-  bool busy() const { return phase_ != Phase::kIdle; }
-  const ProcessId& id() const { return self_; }
-  const Tag& local_tag() const { return local_.tag; }
+  bool busy() const { return !mux_.idle(); }
+  const ProcessId& id() const { return mux_.id(); }
+  const Tag& local_tag() const { return state_.local.tag; }
 
  private:
-  enum class Phase { kIdle, kGetData, kWriteBack };
-
-  void on_data_resp(const ProcessId& from, const RegisterMessage& msg);
-  void on_ack(const ProcessId& from, const RegisterMessage& msg);
-  void begin_write_back();
-  void finish(bool fresh);
-
-  const ProcessId self_;
-  const SystemConfig config_;
-  net::Transport* const transport_;
+  OpMux mux_;
   const uint32_t object_;
-
-  TaggedValue local_;
-
-  Phase phase_{Phase::kIdle};
-  uint64_t op_id_{0};
-  QuorumTracker responded_;
-  std::map<ProcessId, TaggedValue> responses_;
-  bool fresh_{false};
-  Callback callback_;
-  TimeNs invoked_at_{0};
+  LocalState state_;
 };
 
 }  // namespace bftreg::registers

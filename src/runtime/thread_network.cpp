@@ -117,7 +117,7 @@ void ThreadNetwork::send(const ProcessId& from, const ProcessId& to, Bytes paylo
     return;
   }
   MutexLock lock(sched_mu_);
-  sched_queue_.push(Timed{now() + d, env.seq, std::move(env)});
+  sched_queue_.push(Timed{now() + d, env.seq, std::move(env), ProcessId{}, nullptr});
   sched_cv_.notify_one();
 }
 
@@ -136,7 +136,23 @@ void ThreadNetwork::route(net::Envelope env) {
 void ThreadNetwork::scheduler_loop() {
   MutexLock lock(sched_mu_);
   for (;;) {
-    if (!running_.load() && sched_queue_.empty()) return;
+    if (!running_.load()) {
+      // Shutting down: anything not yet due is dropped -- pending
+      // post_after timers may be arbitrarily far in the future and must
+      // not stall stop(), which joins this thread.
+      while (!sched_queue_.empty() && sched_queue_.top().due <= now()) {
+        Timed item = std::move(const_cast<Timed&>(sched_queue_.top()));
+        sched_queue_.pop();
+        lock.unlock();
+        if (item.fn) {
+          post(item.pid, std::move(item.fn));
+        } else {
+          route(std::move(item.env));
+        }
+        lock.lock();
+      }
+      return;
+    }
     if (sched_queue_.empty()) {
       sched_cv_.wait(lock);
       continue;
@@ -147,16 +163,32 @@ void ThreadNetwork::scheduler_loop() {
       sched_cv_.wait_for(lock, std::chrono::nanoseconds(due - t));
       continue;
     }
-    net::Envelope env = std::move(const_cast<Timed&>(sched_queue_.top()).env);
+    Timed item = std::move(const_cast<Timed&>(sched_queue_.top()));
     sched_queue_.pop();
     lock.unlock();
-    route(std::move(env));
+    if (item.fn) {
+      post(item.pid, std::move(item.fn));
+    } else {
+      route(std::move(item.env));
+    }
     lock.lock();
   }
 }
 
 void ThreadNetwork::post(const ProcessId& pid, std::function<void()> fn) {
   if (Mailbox* box = find(pid)) enqueue(box, std::move(fn));
+}
+
+void ThreadNetwork::post_after(const ProcessId& pid, TimeNs delta,
+                               std::function<void()> fn) {
+  if (delta == 0) {
+    post(pid, std::move(fn));
+    return;
+  }
+  MutexLock lock(sched_mu_);
+  sched_queue_.push(
+      Timed{now() + delta, next_seq_.fetch_add(1), net::Envelope{}, pid, std::move(fn)});
+  sched_cv_.notify_one();
 }
 
 void BlockingInvoker::run(

@@ -73,6 +73,8 @@ class ThreadNetwork final : public net::Transport {
   void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
   TimeNs now() const override;
   void post(const ProcessId& pid, std::function<void()> fn) override;
+  void post_after(const ProcessId& pid, TimeNs delta,
+                  std::function<void()> fn) override;
   net::NetworkMetrics& metrics() override { return metrics_; }
 
  private:
@@ -85,10 +87,15 @@ class ThreadNetwork final : public net::Transport {
     std::atomic<bool> crashed{false};
   };
 
+  /// A delayed delivery (envelope) or a delayed task (post_after timer);
+  /// `fn` non-null marks a task, which is enqueued to `pid`'s mailbox when
+  /// due instead of being routed as a message.
   struct Timed {
     TimeNs due;
     uint64_t seq;
     net::Envelope env;
+    ProcessId pid;
+    std::function<void()> fn;
     bool operator>(const Timed& o) const {
       return due != o.due ? due > o.due : seq > o.seq;
     }

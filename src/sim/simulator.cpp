@@ -77,6 +77,13 @@ void Simulator::post(const ProcessId& pid, std::function<void()> fn) {
   });
 }
 
+void Simulator::post_after(const ProcessId& pid, TimeNs delta,
+                           std::function<void()> fn) {
+  schedule_at(now_ + delta, [this, pid, f = std::move(fn)] {
+    if (!is_crashed(pid)) f();
+  });
+}
+
 void Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
   assert(at >= now_);
   queue_.push(Event{at, next_seq_++, std::move(fn)});

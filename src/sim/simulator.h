@@ -70,6 +70,8 @@ class Simulator final : public net::Transport {
   void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
   TimeNs now() const override { return now_; }
   void post(const ProcessId& pid, std::function<void()> fn) override;
+  void post_after(const ProcessId& pid, TimeNs delta,
+                  std::function<void()> fn) override;
   net::NetworkMetrics& metrics() override { return metrics_; }
 
   // --- scheduling / execution --------------------------------------------

@@ -123,6 +123,7 @@ void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
 
 void TcpNetwork::start() {
   assert(!running_.exchange(true));
+  timer_thread_ = std::thread([this] { timer_loop(); });
   for (auto& [pid, ep] : endpoints_) {
     Endpoint* e = ep.get();
     e->mailbox_thread = std::thread([this, e] { mailbox_loop(e); });
@@ -133,6 +134,7 @@ void TcpNetwork::start() {
 
 bool TcpNetwork::on_internal_thread() const {
   const auto self = std::this_thread::get_id();
+  if (timer_thread_.joinable() && self == timer_thread_.get_id()) return true;
   for (const auto& [pid, ep] : endpoints_) {
     if (ep->accept_thread.joinable() && self == ep->accept_thread.get_id())
       return true;
@@ -148,6 +150,11 @@ void TcpNetwork::stop() {
   // external-thread API (see header contract). Connection threads only
   // enqueue into mailboxes, so a handler never reaches stop() either.
   assert(!on_internal_thread() && "stop() called from a network-owned thread");
+  {
+    MutexLock lock(timer_mu_);
+    timer_cv_.notify_all();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
   for (auto& [pid, ep] : endpoints_) {
     // Shut the listener; accept() wakes with an error and the loop exits.
     const int listen_fd = ep->listen_fd.exchange(-1);
@@ -312,6 +319,39 @@ void TcpNetwork::send(const ProcessId& from, const ProcessId& to, Bytes payload)
     src->out_fds.emplace(to, fd);
     write_all(fd, frame.data(), frame.size());
   }
+}
+
+void TcpNetwork::timer_loop() {
+  MutexLock lock(timer_mu_);
+  for (;;) {
+    if (!running_.load()) return;  // pending timers are dropped at shutdown
+    if (timer_queue_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const TimeNs due = timer_queue_.top().due;
+    const TimeNs t = now();
+    if (t < due) {
+      timer_cv_.wait_for(lock, std::chrono::nanoseconds(due - t));
+      continue;
+    }
+    Timer timer = std::move(const_cast<Timer&>(timer_queue_.top()));
+    timer_queue_.pop();
+    lock.unlock();
+    post(timer.pid, std::move(timer.fn));
+    lock.lock();
+  }
+}
+
+void TcpNetwork::post_after(const ProcessId& pid, TimeNs delta,
+                            std::function<void()> fn) {
+  if (delta == 0) {
+    post(pid, std::move(fn));
+    return;
+  }
+  MutexLock lock(timer_mu_);
+  timer_queue_.push(Timer{now() + delta, timer_seq_.fetch_add(1), pid, std::move(fn)});
+  timer_cv_.notify_one();
 }
 
 void TcpNetwork::post(const ProcessId& pid, std::function<void()> fn) {

@@ -16,8 +16,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -68,14 +70,28 @@ class TcpNetwork final : public net::Transport {
   void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
   TimeNs now() const override;
   void post(const ProcessId& pid, std::function<void()> fn) override;
+  void post_after(const ProcessId& pid, TimeNs delta,
+                  std::function<void()> fn) override;
   net::NetworkMetrics& metrics() override { return metrics_; }
 
  private:
   struct Endpoint;
 
+  /// Pending post_after timer; fired by the timer thread via post().
+  struct Timer {
+    TimeNs due;
+    uint64_t seq;
+    ProcessId pid;
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
   void accept_loop(Endpoint* ep);
   void connection_loop(Endpoint* ep, int fd);
   void mailbox_loop(Endpoint* ep);
+  void timer_loop() EXCLUDES(timer_mu_);
   void enqueue(Endpoint* ep, std::function<void()> fn);
   int connect_to(const ProcessId& to);
   Endpoint* find(const ProcessId& pid);
@@ -91,6 +107,13 @@ class TcpNetwork final : public net::Transport {
   std::map<ProcessId, std::unique_ptr<Endpoint>> endpoints_;
   std::atomic<bool> running_{false};
   std::chrono::steady_clock::time_point epoch_;
+
+  Mutex timer_mu_;
+  CondVar timer_cv_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timer_queue_
+      GUARDED_BY(timer_mu_);
+  std::thread timer_thread_;
+  std::atomic<uint64_t> timer_seq_{0};
 };
 
 }  // namespace bftreg::socknet

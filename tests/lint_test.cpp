@@ -120,6 +120,31 @@ TEST(LintResilienceLiteral, UnrelatedArithmeticNotFlagged) {
       "resilience-literal"));
 }
 
+TEST(LintLegacySingleOp, BusyCallSitesFlaggedOutsideRegisters) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/harness/sim_cluster.cpp",
+                   "while (reader.busy()) sim_.step();\n"),
+      "legacy-single-op"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/workload/driver.cpp", "if (!writer->busy()) go();\n"),
+      "legacy-single-op"));
+}
+
+TEST(LintLegacySingleOp, RegistersLayerAndUnrelatedNamesExempt) {
+  // The low-level clients themselves implement and document busy().
+  EXPECT_FALSE(has_rule(
+      lint_content("src/registers/bsr_reader.h",
+                   "bool busy() const { return !mux_.idle(); }\n"),
+      "legacy-single-op"));
+  // A bare identifier or a different method is not a busy() call site.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/harness/sim_cluster.cpp", "bool busy = false;\n"),
+      "legacy-single-op"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/harness/sim_cluster.cpp", "spin_while_busy();\n"),
+      "legacy-single-op"));
+}
+
 TEST(LintWaiver, SameLineAndPreviousLineWaive) {
   const std::string same =
       "std::mutex g;  // bftreg-lint: allow(unguarded-mutex) guards stderr\n";

@@ -1,0 +1,298 @@
+// Pipelined-client tests: one RegisterClient sustaining many concurrent
+// operations (the op-mux tentpole), verified against the safety checker,
+// plus the deadline/retry path under scripted reply loss.
+//
+// Why multiplexing is sound: the witness rule (f+1 identical responses,
+// Lemma 1/5) and the quorum bound (n-f, Lemma 6) are counted PER OPERATION
+// inside each PendingOp; 64 concurrent ops are indistinguishable -- to the
+// servers and to the proofs -- from 64 well-formed virtual clients.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/byzantine_server.h"
+#include "checker/consistency.h"
+#include "checker/execution.h"
+#include "net/delay.h"
+#include "registers/registers.h"
+#include "sim/simulator.h"
+
+namespace bftreg::registers {
+namespace {
+
+Bytes val(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+/// n=5 BSR cluster (optionally one Byzantine server) + one multiplexing
+/// client, with every operation recorded for the checker.
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kObjects = 8;
+
+  explicit PipelineFixture(bool byzantine = true,
+                           RetryPolicy retry = RetryPolicy{})
+      : sim_(sim::SimConfig::with_uniform_delay(11, 500, 1'500)) {
+    config_ = SystemConfig::builder().n(5).f(1).build_for_bsr().value();
+    const uint32_t byz_index = byzantine ? 4u : config_.n;
+    for (uint32_t i = 0; i < config_.n; ++i) {
+      if (i == byz_index) continue;
+      servers_.push_back(std::make_unique<RegisterServer>(
+          ProcessId::server(i), config_, &sim_, Bytes{}));
+      sim_.add_process(ProcessId::server(i), servers_.back().get());
+    }
+    if (byzantine) {
+      adversary::ServerContext ctx;
+      ctx.self = ProcessId::server(byz_index);
+      ctx.config = config_;
+      ctx.transport = &sim_;
+      ctx.rng = Rng(999);
+      byz_ = std::make_unique<adversary::ByzantineServer>(
+          std::move(ctx),
+          adversary::make_strategy(adversary::StrategyKind::kFabricate, 999));
+      sim_.add_process(ctx.self, byz_.get());
+    }
+    ClientOptions opts;
+    opts.retry = retry;
+    client_ = std::make_unique<RegisterClient>(ProcessId::writer(0), config_,
+                                               &sim_, opts);
+    sim_.add_process(client_->id(), client_.get());
+    sim_.start_all();
+  }
+
+  /// Issues a recorded write from inside the client's context.
+  void issue_write(uint32_t object, Bytes value) {
+    const uint64_t rec = recorder_.begin_write(client_->id(), sim_.now(), value);
+    ++issued_;
+    client_->write(object, std::move(value), [this, rec](const WriteResult& w) {
+      recorder_.complete_write(rec, w.completed_at, w.tag);
+      ++completed_;
+    });
+  }
+
+  /// Issues a recorded read from inside the client's context.
+  void issue_read(uint32_t object) {
+    const uint64_t rec = recorder_.begin_read(client_->id(), sim_.now());
+    ++issued_;
+    client_->read(object, [this, rec](const ReadResult& r) {
+      recorder_.complete_read(rec, r.completed_at, r.value, r.tag);
+      ++completed_;
+    });
+  }
+
+  sim::Simulator sim_;
+  SystemConfig config_;
+  std::vector<std::unique_ptr<RegisterServer>> servers_;
+  std::unique_ptr<adversary::ByzantineServer> byz_;
+  std::unique_ptr<RegisterClient> client_;
+  checker::ExecutionRecorder recorder_;
+  size_t issued_{0};
+  size_t completed_{0};
+};
+
+TEST_F(PipelineFixture, SixtyFourInFlightOpsAcrossEightObjectsStaySafe) {
+  // 8 objects x (4 writes + 4 reads) = 64 operations, all issued before a
+  // single response arrives, all in flight at once on ONE client.
+  size_t peak = 0;
+  sim_.post(client_->id(), [&] {
+    for (uint32_t object = 0; object < kObjects; ++object) {
+      for (int k = 0; k < 4; ++k) {
+        issue_write(object, val("o" + std::to_string(object) + "-w" +
+                                std::to_string(k)));
+        issue_read(object);
+      }
+    }
+    peak = client_->in_flight();
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return completed_ == 64; }));
+  EXPECT_EQ(issued_, 64u);
+  EXPECT_EQ(peak, 64u);
+  EXPECT_EQ(completed_, 64u);
+  EXPECT_TRUE(client_->idle());
+
+  // A second wave reusing the same objects (fresh tags via the per-object
+  // tag floor) interleaved with reads.
+  sim_.post(client_->id(), [&] {
+    for (uint32_t object = 0; object < kObjects; ++object) {
+      issue_write(object, val("o" + std::to_string(object) + "-final"));
+      issue_read(object);
+    }
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return completed_ == 80; }));
+  EXPECT_EQ(issued_, 80u);
+
+  // The fabricating server must not have planted a value anywhere
+  // (strict validity), and safety (Def. 1) must hold per object.
+  checker::CheckOptions copts;
+  copts.strict_validity = true;
+  const auto verdict = checker::check_safety(recorder_.ops(), copts);
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+
+  // Sequential epilogue: every object readable with its final value.
+  for (uint32_t object = 0; object < kObjects; ++object) {
+    ReadResult r;
+    bool done = false;
+    sim_.post(client_->id(), [&] {
+      client_->read(object, [&](const ReadResult& res) {
+        r = res;
+        done = true;
+      });
+    });
+    ASSERT_TRUE(sim_.run_until([&] { return done; }));
+    EXPECT_EQ(r.value, val("o" + std::to_string(object) + "-final"));
+  }
+}
+
+TEST_F(PipelineFixture, PipeliningNeverReusesALiveTagPerObject) {
+  // 16 concurrent writes to ONE object from one client: the per-object tag
+  // floor must hand every write a distinct tag even though their get-tag
+  // phases all observe the same server state.
+  std::vector<Tag> tags;
+  sim_.post(client_->id(), [&] {
+    for (int k = 0; k < 16; ++k) {
+      const uint64_t rec =
+          recorder_.begin_write(client_->id(), sim_.now(), val("w"));
+      client_->write(0, val("w"), [this, rec, &tags](const WriteResult& w) {
+        recorder_.complete_write(rec, w.completed_at, w.tag);
+        tags.push_back(w.tag);
+        ++completed_;
+      });
+    }
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return completed_ == 16; }));
+  std::sort(tags.begin(), tags.end());
+  EXPECT_EQ(std::adjacent_find(tags.begin(), tags.end()), tags.end())
+      << "two concurrent writes of one client reused a tag";
+}
+
+// --- deadline / retry under reply loss -------------------------------------
+
+struct RetryFixture : PipelineFixture {
+  static RetryPolicy policy() {
+    RetryPolicy p;
+    p.timeout = 10'000;
+    p.max_retries = 3;
+    p.backoff = 2.0;
+    return p;
+  }
+  // Honest servers: reply loss is scripted, not adversarial.
+  RetryFixture() : PipelineFixture(/*byzantine=*/false, policy()) {}
+};
+
+TEST_F(RetryFixture, DroppedRepliesTriggerRetryThenCompletion) {
+  bool done = false;
+  sim_.post(client_->id(), [&] {
+    client_->write(0, val("v1"), [&](const WriteResult&) { done = true; });
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return done; }));
+  const TimeNs write_done_at = sim_.now();
+
+  // Lose every server->client reply sent in the next 6us: the read's first
+  // attempt collects nothing, its deadline fires, and the retransmission
+  // (same op id) completes against the recovered network.
+  const TimeNs cutoff = write_done_at + 6'000;
+  sim_.delay_model().set_hook(
+      [&](const net::Envelope& env) -> std::optional<TimeNs> {
+        if (env.from.is_server() && env.to.is_client() && sim_.now() < cutoff) {
+          return TimeNs{100'000'000};  // effectively lost
+        }
+        return std::nullopt;
+      });
+
+  ReadResult r;
+  done = false;
+  sim_.post(client_->id(), [&] {
+    client_->read(0, [&](const ReadResult& res) {
+      r = res;
+      done = true;
+    });
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return done; }));
+
+  EXPECT_EQ(r.value, val("v1"));
+  EXPECT_TRUE(r.fresh);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_GE(r.retries, 1u);
+  EXPECT_GE(client_->retransmits(), 1u);
+  EXPECT_EQ(client_->timeouts(), 0u);
+  EXPECT_TRUE(client_->idle());
+}
+
+TEST_F(RetryFixture, ExhaustedRetryBudgetCompletesWithTimeoutFallback) {
+  // Every reply is lost forever: the op must still complete -- flagged
+  // timed_out, with the protocol's conservative fallback -- instead of
+  // hanging, and the mux must end up empty.
+  sim_.delay_model().set_hook(
+      [](const net::Envelope& env) -> std::optional<TimeNs> {
+        if (env.from.is_server() && env.to.is_client()) {
+          return TimeNs{1'000'000'000};
+        }
+        return std::nullopt;
+      });
+
+  ReadResult r;
+  bool done = false;
+  sim_.post(client_->id(), [&] {
+    client_->read(0, [&](const ReadResult& res) {
+      r = res;
+      done = true;
+    });
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return done; }));
+
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.fresh);
+  EXPECT_EQ(r.retries, 3u);
+  EXPECT_EQ(r.value, Bytes{});  // fallback: the initial value v0
+  EXPECT_EQ(client_->timeouts(), 1u);
+  EXPECT_EQ(client_->retransmits(), 3u);
+  EXPECT_TRUE(client_->idle());
+}
+
+TEST_F(RetryFixture, StragglerFromFirstAttemptStillCountsAfterRetransmit) {
+  // Replies to the FIRST attempt are delayed past the deadline but not
+  // lost; the retransmission goes out, and the late first-attempt replies
+  // -- same op id -- arrive first and complete the operation. This is the
+  // reason retransmissions reuse the op id instead of allocating afresh.
+  bool done = false;
+  sim_.post(client_->id(), [&] {
+    client_->write(0, val("v1"), [&](const WriteResult&) { done = true; });
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return done; }));
+
+  const TimeNs issue_at = sim_.now();
+  sim_.delay_model().set_hook(
+      [&](const net::Envelope& env) -> std::optional<TimeNs> {
+        // Every reply: delayed past the 10us deadline, then delivered.
+        if (env.from.is_server() && env.to.is_client()) return TimeNs{12'000};
+        // The retransmitted requests themselves are lost, so ONLY the
+        // first-attempt stragglers can possibly complete the operation.
+        if (env.to.is_server() && sim_.now() > issue_at + 6'000) {
+          return TimeNs{1'000'000'000};
+        }
+        return std::nullopt;
+      });
+
+  ReadResult r;
+  done = false;
+  sim_.post(client_->id(), [&] {
+    client_->read(0, [&](const ReadResult& res) {
+      r = res;
+      done = true;
+    });
+  });
+  ASSERT_TRUE(sim_.run_until([&] { return done; }));
+
+  EXPECT_EQ(r.value, val("v1"));
+  EXPECT_TRUE(r.fresh);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.retries, 1u);
+  EXPECT_EQ(client_->retransmits(), 1u);
+  EXPECT_EQ(client_->timeouts(), 0u);
+  EXPECT_TRUE(client_->idle());
+}
+
+}  // namespace
+}  // namespace bftreg::registers

@@ -1,13 +1,22 @@
-// Benchmark regression gate for BENCH_codec.json.
+// Benchmark regression gate for the checked-in throughput baselines.
 //
 //   bench_regress <baseline.json> <current.json> [--max-regress=0.20]
 //
-// Both files follow the bftreg-bench-codec-v1 schema written by
-// `bench_codec --json=PATH`. Every (n, f, size, kernel) point present in
-// BOTH files is compared metric by metric; if any current metric falls
-// below baseline * (1 - max_regress), the gate fails (exit 1). Points that
-// exist only on one side (e.g. the CI host lacks AVX2) are reported but do
-// not fail the gate -- hardware variance is not a regression.
+// Two schemas are understood, selected by the files' "schema" field (both
+// files must agree):
+//
+//   bftreg-bench-codec-v1   written by `bench_codec --json=PATH`; points
+//                           keyed by (n, f, size, kernel), metrics
+//                           encode/decode_clean/decode_adv MB/s.
+//   bftreg-bench-client-v1  written by `bench_mixed_workload --json=PATH`;
+//                           points keyed by (protocol, depth), metric
+//                           ops_per_ms of the pipelined client.
+//
+// Every point present in BOTH files is compared metric by metric; if any
+// current metric falls below baseline * (1 - max_regress), the gate fails
+// (exit 1). Points that exist only on one side (e.g. the CI host lacks
+// AVX2) are reported but do not fail the gate -- hardware variance is not
+// a regression.
 //
 // The parser below is deliberately minimal: it only understands the flat
 // one-object-per-result layout our own writer produces, which keeps this
@@ -23,13 +32,10 @@
 
 namespace {
 
-struct Point {
-  double encode_mbps{0};
-  double decode_clean_mbps{0};
-  double decode_adv_mbps{0};
-};
-
-using PointMap = std::map<std::string, Point>;  // key: "n=../f=../size=../kernel=.."
+/// One comparable point: metric name -> value. Higher is always better
+/// (both schemas report throughput).
+using Point = std::map<std::string, double>;
+using PointMap = std::map<std::string, Point>;  // key: schema-specific
 
 /// Extracts the numeric value following `"key":` in `obj`, or -1.
 double find_number(const std::string& obj, const std::string& key) {
@@ -68,23 +74,33 @@ bool load(const std::string& path, PointMap* out, std::string* schema) {
     std::fprintf(stderr, "bench_regress: %s has no results array\n", path.c_str());
     return false;
   }
+  const bool client_schema = *schema == "bftreg-bench-client-v1";
   while ((pos = text.find('{', pos + 1)) != std::string::npos) {
     const size_t end = text.find('}', pos);
     if (end == std::string::npos) break;
     const std::string obj = text.substr(pos, end - pos + 1);
     pos = end;
 
-    const std::string kernel = find_string(obj, "kernel");
-    const double n = find_number(obj, "n");
-    if (kernel.empty() || n < 0) continue;
     char key[128];
-    std::snprintf(key, sizeof(key), "n=%d/f=%d/size=%d/kernel=%s",
-                  static_cast<int>(n), static_cast<int>(find_number(obj, "f")),
-                  static_cast<int>(find_number(obj, "size")), kernel.c_str());
     Point p;
-    p.encode_mbps = find_number(obj, "encode_mbps");
-    p.decode_clean_mbps = find_number(obj, "decode_clean_mbps");
-    p.decode_adv_mbps = find_number(obj, "decode_adv_mbps");
+    if (client_schema) {
+      const std::string protocol = find_string(obj, "protocol");
+      const double depth = find_number(obj, "depth");
+      if (protocol.empty() || depth < 0) continue;
+      std::snprintf(key, sizeof(key), "protocol=%s/depth=%d", protocol.c_str(),
+                    static_cast<int>(depth));
+      p["ops_per_ms"] = find_number(obj, "ops_per_ms");
+    } else {
+      const std::string kernel = find_string(obj, "kernel");
+      const double n = find_number(obj, "n");
+      if (kernel.empty() || n < 0) continue;
+      std::snprintf(key, sizeof(key), "n=%d/f=%d/size=%d/kernel=%s",
+                    static_cast<int>(n), static_cast<int>(find_number(obj, "f")),
+                    static_cast<int>(find_number(obj, "size")), kernel.c_str());
+      p["encode"] = find_number(obj, "encode_mbps");
+      p["decode_clean"] = find_number(obj, "decode_clean_mbps");
+      p["decode_adv"] = find_number(obj, "decode_adv_mbps");
+    }
     (*out)[key] = p;
   }
   return true;
@@ -131,27 +147,21 @@ int main(int argc, char** argv) {
       continue;
     }
     const Point& c = it->second;
-    const struct {
-      const char* name;
-      double base_v;
-      double cur_v;
-    } metrics[] = {
-        {"encode", b.encode_mbps, c.encode_mbps},
-        {"decode_clean", b.decode_clean_mbps, c.decode_clean_mbps},
-        {"decode_adv", b.decode_adv_mbps, c.decode_adv_mbps},
-    };
-    for (const auto& m : metrics) {
-      if (m.base_v <= 0) continue;
+    for (const auto& [name, base_v] : b) {
+      if (base_v <= 0) continue;
+      const auto cur_it = c.find(name);
+      if (cur_it == c.end()) continue;
+      const double cur_v = cur_it->second;
       ++compared;
-      const double floor = m.base_v * (1.0 - max_regress);
-      const double delta = (m.cur_v - m.base_v) / m.base_v * 100.0;
-      if (m.cur_v < floor) {
+      const double floor = base_v * (1.0 - max_regress);
+      const double delta = (cur_v - base_v) / base_v * 100.0;
+      if (cur_v < floor) {
         ++regressions;
-        std::printf("FAIL  %-48s %-13s %8.1f -> %8.1f MB/s (%+.1f%%)\n",
-                    key.c_str(), m.name, m.base_v, m.cur_v, delta);
+        std::printf("FAIL  %-48s %-13s %8.1f -> %8.1f (%+.1f%%)\n",
+                    key.c_str(), name.c_str(), base_v, cur_v, delta);
       } else {
-        std::printf("ok    %-48s %-13s %8.1f -> %8.1f MB/s (%+.1f%%)\n",
-                    key.c_str(), m.name, m.base_v, m.cur_v, delta);
+        std::printf("ok    %-48s %-13s %8.1f -> %8.1f (%+.1f%%)\n",
+                    key.c_str(), name.c_str(), base_v, cur_v, delta);
       }
     }
   }

@@ -121,11 +121,34 @@ std::optional<adversary::StrategyKind> strategy_by_name(const std::string& name)
   return std::nullopt;
 }
 
+/// Validates (n, f) against the requested protocol's resilience bound via
+/// the SystemConfig builder, so a bad combination is a printed error, not
+/// an assert deep inside a client constructor.
+Result<registers::SystemConfig> build_config(const Options& o) {
+  auto b = registers::SystemConfig::builder().n(o.n).f(o.f);
+  switch (o.protocol) {
+    case harness::Protocol::kBcsr:
+      return b.build_for_bcsr();
+    case harness::Protocol::kRb:
+      return b.build_for_rb();
+    default:
+      return b.build_for_bsr();
+  }
+}
+
 int run_scenario(const Options& o) {
+  // Scenarios replay the paper's impossibility schedules, which *deliberately*
+  // run below the resilience bound (e.g. theorem5 at n = 4f); only the
+  // protocol-independent sanity checks apply here.
+  auto config = registers::SystemConfig::builder().n(o.n).f(o.f).build();
+  if (!config) {
+    std::fprintf(stderr, "%s\n", config.error().detail.c_str());
+    return 2;
+  }
+
   harness::ClusterOptions co;
   co.protocol = o.protocol;
-  co.config.n = o.n;
-  co.config.f = o.f;
+  co.config = config.value();
   co.seed = o.seed;
   co.num_readers = 1;
 
@@ -180,10 +203,15 @@ int main(int argc, char** argv) {
 
   if (!o.scenario.empty()) return run_scenario(o);
 
+  auto config = build_config(o);
+  if (!config) {
+    std::fprintf(stderr, "%s\n", config.error().detail.c_str());
+    return 2;
+  }
+
   harness::ClusterOptions co;
   co.protocol = o.protocol;
-  co.config.n = o.n;
-  co.config.f = o.f;
+  co.config = config.value();
   co.seed = o.seed;
   co.num_writers = 2;
   co.num_readers = 2;

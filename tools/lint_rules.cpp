@@ -71,6 +71,9 @@ const std::regex kOrderedMutex(
     R"((?:std\s*::\s*(?:shared_)?mutex|Mutex)\s+([A-Za-z_]\w*)\s+ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\))");
 // `MutexLock lock(expr);` -- the RAII acquisition the codebase uses.
 const std::regex kMutexLock(R"(\bMutexLock\s+\w+\s*\(\s*([^)]+?)\s*\))");
+// `x.busy()` / `p->busy()` -- the single-operation guard of the low-level
+// protocol clients.
+const std::regex kBusyCall(R"((\.|->)\s*busy\s*\(\s*\))");
 
 /// Reduces a lock expression to the bare member name the order edges use:
 /// `box->mu` -> `mu`, `this->sched_mu_` -> `sched_mu_`, `*ep->mu` -> `mu`.
@@ -179,6 +182,13 @@ std::vector<Violation> lint_content(const std::string& rel_path,
              "mutex member '" + name + "' has no " + companion +
                  " companion field; write down what the lock protects");
       }
+    }
+    if (!starts_with(rel_path, "src/registers/") &&
+        std::regex_search(code, kBusyCall)) {
+      flag(i, "legacy-single-op",
+           "busy() gates the low-level one-operation-per-client classes; "
+           "use RegisterClient (src/registers/client.h), which multiplexes "
+           "concurrent operations instead of serializing on busy()");
     }
     if (rel_path != "src/registers/config.h" &&
         std::regex_search(code, kResilienceLiteral)) {

@@ -25,6 +25,11 @@
 //                       thread-safety analysis and TSan both only catch
 //                       dynamically, so the declared order is checked
 //                       statically here (direct edges, no transitivity).
+//   legacy-single-op    a `.busy()` / `->busy()` call outside
+//                       src/registers/ -- busy() is the low-level clients'
+//                       one-operation-at-a-time guard; new code should go
+//                       through RegisterClient, whose multiplexer runs any
+//                       number of operations concurrently (client.h).
 //
 // A finding can be waived by putting `bftreg-lint: allow(<rule>)` in a
 // comment on the offending line or the line directly above it, with a
