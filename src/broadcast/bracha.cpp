@@ -54,7 +54,7 @@ void BrachaPeer::on_external_send(const Bytes& blob) {
   }
 }
 
-bool BrachaPeer::on_frame(const ProcessId& from, const Bytes& frame) {
+bool BrachaPeer::on_frame(const ProcessId& from, BytesView frame) {
   if (frame.size() < 2 || frame[0] != kMagic) return false;
   const uint8_t phase = frame[1];
   if (phase < static_cast<uint8_t>(Phase::kSend) ||

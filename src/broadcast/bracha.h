@@ -48,7 +48,7 @@ class BrachaPeer {
 
   /// Host feeds every incoming frame here. Returns false if the payload is
   /// not a well-formed Bracha frame (the host may then try other parsers).
-  bool on_frame(const ProcessId& from, const Bytes& frame);
+  bool on_frame(const ProcessId& from, BytesView frame);
 
   /// Injects an externally received SEND step: used when the "origin" is a
   /// client whose PUT-DATA plays the role of the SEND message.

@@ -80,6 +80,7 @@ class Serializer {
 class Deserializer {
  public:
   explicit Deserializer(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  explicit Deserializer(BytesView data) : data_(data.data()), size_(data.size()) {}
   Deserializer(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   bool ok() const { return ok_; }

@@ -17,12 +17,12 @@ SipHashKey KeyRegistry::channel_key(const ProcessId& from, const ProcessId& to) 
 }
 
 MacTag Authenticator::seal(const ProcessId& from, const ProcessId& to,
-                           const Bytes& payload) const {
+                           BytesView payload) const {
   return siphash24(registry_.channel_key(from, to), payload);
 }
 
 bool Authenticator::verify(const ProcessId& from, const ProcessId& to,
-                           const Bytes& payload, MacTag mac) const {
+                           BytesView payload, MacTag mac) const {
   return seal(from, to, payload) == mac;
 }
 

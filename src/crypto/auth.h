@@ -36,10 +36,10 @@ class Authenticator {
   explicit Authenticator(KeyRegistry registry) : registry_(registry) {}
 
   /// MAC over (from, to, payload) under the from->to channel key.
-  MacTag seal(const ProcessId& from, const ProcessId& to, const Bytes& payload) const;
+  MacTag seal(const ProcessId& from, const ProcessId& to, BytesView payload) const;
 
   /// True iff `mac` is a valid seal for (from, to, payload).
-  bool verify(const ProcessId& from, const ProcessId& to, const Bytes& payload,
+  bool verify(const ProcessId& from, const ProcessId& to, BytesView payload,
               MacTag mac) const;
 
  private:

@@ -25,7 +25,7 @@ struct SipHashKey {
 /// SipHash-2-4 of `len` bytes under `key`.
 uint64_t siphash24(const SipHashKey& key, const void* data, size_t len);
 
-inline uint64_t siphash24(const SipHashKey& key, const Bytes& data) {
+inline uint64_t siphash24(const SipHashKey& key, BytesView data) {
   return siphash24(key, data.data(), data.size());
 }
 

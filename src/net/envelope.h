@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/buffer.h"
 #include "common/types.h"
 #include "crypto/auth.h"
 
@@ -15,7 +16,10 @@ namespace bftreg::net {
 struct Envelope {
   ProcessId from;
   ProcessId to;
-  Bytes payload;
+  /// Refcounted view of the payload bytes. In-memory transports move the
+  /// sender's vector straight into it; the TCP data plane aliases its
+  /// receive chunks, so delivery costs zero payload copies end-to-end.
+  Payload payload;
   /// Globally unique send sequence number; used for deterministic
   /// tie-breaking in the simulator's event queue and for tracing.
   uint64_t seq{0};

@@ -12,6 +12,9 @@ struct MetricsSnapshot {
   uint64_t bytes_sent{0};
   uint64_t messages_delivered{0};
   uint64_t auth_failures{0};
+  /// Frames shed by a bounded transport queue (or dropped after a failed
+  /// reconnect) instead of blocking the sender. Client deadlines retransmit.
+  uint64_t messages_dropped{0};
 };
 
 /// Thread-safe counters; the simulator uses it single-threaded, the
@@ -30,6 +33,11 @@ class NetworkMetrics {
   void on_auth_failure() {
     MutexLock lock(mu_);
     ++snap_.auth_failures;
+  }
+  void on_drop() { on_drop_n(1); }
+  void on_drop_n(uint64_t count) {
+    MutexLock lock(mu_);
+    snap_.messages_dropped += count;
   }
 
   MetricsSnapshot snapshot() const {

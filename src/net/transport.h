@@ -36,7 +36,16 @@ class Transport {
 
   /// Sends payload over the reliable authenticated channel from->to.
   /// Never blocks. Delivery order is arbitrary (asynchronous model).
-  virtual void send(const ProcessId& from, const ProcessId& to, Bytes payload) = 0;
+  void send(const ProcessId& from, const ProcessId& to, Bytes payload) {
+    send_payload(from, to, Payload(std::move(payload)));
+  }
+
+  /// Zero-copy variant of send(): the payload is a refcounted view, so a
+  /// sender fanning the same bytes out to n destinations (or re-sending on
+  /// retry) shares one buffer across all of them instead of copying per
+  /// message. Transports must not mutate the bytes.
+  virtual void send_payload(const ProcessId& from, const ProcessId& to,
+                            Payload payload) = 0;
 
   /// Current transport time (virtual in the simulator, wall clock in the
   /// threaded runtime), in nanoseconds.

@@ -62,7 +62,7 @@ Bytes RegisterMessage::encode() const {
   return s.take();
 }
 
-std::optional<RegisterMessage> RegisterMessage::parse(const Bytes& payload) {
+std::optional<RegisterMessage> RegisterMessage::parse(BytesView payload) {
   Deserializer d(payload);
   RegisterMessage m;
   const uint8_t type = d.get_u8();

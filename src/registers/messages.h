@@ -69,7 +69,7 @@ struct RegisterMessage {
 
   /// Defensive parse; nullopt on any malformation (wrong type byte,
   /// truncation, oversized counts, trailing bytes).
-  static std::optional<RegisterMessage> parse(const Bytes& payload);
+  static std::optional<RegisterMessage> parse(BytesView payload);
 };
 
 const char* to_string(MsgType t);

@@ -22,6 +22,19 @@ std::map<Tag, Bytes>& RegisterServer::object_store(uint32_t object) {
   return it->second;
 }
 
+const std::map<Tag, Bytes>* RegisterServer::find_store(uint32_t object) const {
+  auto it = stores_.find(object);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+std::pair<Tag, const Bytes*> RegisterServer::newest_entry(uint32_t object) const {
+  if (const auto* store = find_store(object)) {
+    auto newest = store->rbegin();
+    return {newest->first, &newest->second};
+  }
+  return {Tag::initial(), &initial_};
+}
+
 size_t RegisterServer::stored_bytes() const {
   size_t total = 0;
   for (const auto& [object, store] : stores_) {
@@ -78,7 +91,7 @@ void RegisterServer::handle_query_tag(const ProcessId& from,
   resp.type = MsgType::kTagResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  resp.tag = max_tag(req.object);
+  resp.tag = newest_entry(req.object).first;
   reply(from, resp);
 }
 
@@ -119,6 +132,12 @@ bool RegisterServer::apply_put(uint32_t object, const Tag& tag, Bytes value) {
     for (const auto& [reader, op_id] : it->second) {
       resp.op_id = op_id;
       reply(reader, resp);
+      // Unindex the satisfied waiter (its other deferred keys, if any, stay).
+      if (auto rev = deferred_by_op_.find({reader, op_id});
+          rev != deferred_by_op_.end()) {
+        std::erase(rev->second, std::make_pair(object, tag));
+        if (rev->second.empty()) deferred_by_op_.erase(rev);
+      }
     }
     deferred_.erase(it);
   }
@@ -138,52 +157,64 @@ void RegisterServer::handle_put_data(const ProcessId& from, RegisterMessage req)
 
 void RegisterServer::handle_query_data(const ProcessId& from,
                                        const RegisterMessage& req) {
-  const auto& store = object_store(req.object);
+  const auto [tag, value] = newest_entry(req.object);
   RegisterMessage resp;
   resp.type = MsgType::kDataResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  resp.tag = store.rbegin()->first;
-  resp.value = store.rbegin()->second;
+  resp.tag = tag;
+  resp.value = *value;
   reply(from, resp);
 }
 
 void RegisterServer::handle_query_history(const ProcessId& from,
                                           const RegisterMessage& req) {
-  const auto& store = object_store(req.object);
   RegisterMessage resp;
   resp.type = MsgType::kHistoryResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  resp.history.reserve(store.size());
-  for (const auto& [tag, value] : store) {
-    resp.history.push_back(TaggedValue{tag, value});
+  if (const auto* store = find_store(req.object)) {
+    resp.history.reserve(store->size());
+    for (const auto& [tag, value] : *store) {
+      resp.history.push_back(TaggedValue{tag, value});
+    }
+  } else {
+    resp.history.push_back(TaggedValue{Tag::initial(), initial_});
   }
   reply(from, resp);
 }
 
 void RegisterServer::handle_query_tag_history(const ProcessId& from,
                                               const RegisterMessage& req) {
-  const auto& store = object_store(req.object);
   RegisterMessage resp;
   resp.type = MsgType::kTagHistoryResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  resp.tags.reserve(store.size());
-  for (const auto& [tag, value] : store) resp.tags.push_back(tag);
+  if (const auto* store = find_store(req.object)) {
+    resp.tags.reserve(store->size());
+    for (const auto& [tag, value] : *store) resp.tags.push_back(tag);
+  } else {
+    resp.tags.push_back(Tag::initial());
+  }
   reply(from, resp);
 }
 
 void RegisterServer::handle_query_data_at(const ProcessId& from,
                                           const RegisterMessage& req) {
-  const auto& store = object_store(req.object);
-  if (auto it = store.find(req.tag); it != store.end()) {
+  const auto* store = find_store(req.object);
+  const Bytes* value = nullptr;
+  if (store != nullptr) {
+    if (auto it = store->find(req.tag); it != store->end()) value = &it->second;
+  } else if (req.tag == Tag::initial()) {
+    value = &initial_;  // unknown object reads as its lazy initialization
+  }
+  if (value != nullptr) {
     RegisterMessage resp;
     resp.type = MsgType::kDataAtResp;
     resp.op_id = req.op_id;
     resp.object = req.object;
     resp.tag = req.tag;
-    resp.value = it->second;
+    resp.value = *value;
     reply(from, resp);
     return;
   }
@@ -192,6 +223,7 @@ void RegisterServer::handle_query_data_at(const ProcessId& from,
   // writer crashed mid-multicast it eventually will; see the liveness
   // discussion in two_round_reader.h).
   deferred_[{req.object, req.tag}].emplace_back(from, req.op_id);
+  deferred_by_op_[{from, req.op_id}].emplace_back(req.object, req.tag);
   RegisterMessage resp;
   resp.type = MsgType::kDataAtMissing;
   resp.op_id = req.op_id;
@@ -215,9 +247,8 @@ void RegisterServer::handle_query_data_batch(const ProcessId& from,
                       req.objects.begin() + static_cast<long>(count));
   resp.history.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    const auto& store = object_store(req.objects[i]);
-    resp.history.push_back(TaggedValue{store.rbegin()->first,
-                                       store.rbegin()->second});
+    const auto [tag, value] = newest_entry(req.objects[i]);
+    resp.history.push_back(TaggedValue{tag, *value});
   }
   reply(from, resp);
 }
@@ -228,14 +259,20 @@ void RegisterServer::handle_read_done(const ProcessId& from,
   // protocol) and therefore NOT monotone across a client's concurrent
   // operations -- a range erase (op_id <= done id) would cancel deferred
   // replies belonging to that client's still-running reads in other
-  // namespaces.
-  for (auto it = deferred_.begin(); it != deferred_.end();) {
+  // namespaces. The reverse index pinpoints this op's deferred keys, so
+  // the cancel never touches other readers' waiters.
+  auto rev = deferred_by_op_.find({from, req.op_id});
+  if (rev == deferred_by_op_.end()) return;
+  for (const auto& key : rev->second) {
+    auto it = deferred_.find(key);
+    if (it == deferred_.end()) continue;
     auto& waiters = it->second;
     std::erase_if(waiters, [&](const auto& w) {
       return w.first == from && w.second == req.op_id;
     });
-    it = waiters.empty() ? deferred_.erase(it) : std::next(it);
+    if (waiters.empty()) deferred_.erase(it);
   }
+  deferred_by_op_.erase(rev);
 }
 
 }  // namespace bftreg::registers

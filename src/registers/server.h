@@ -79,6 +79,18 @@ class RegisterServer : public net::IProcess {
 
   std::map<Tag, Bytes>& object_store(uint32_t object);
 
+  /// Read-only lookup of L: nullptr when this server has never stored a put
+  /// for `object`. Unlike object_store(), never inserts -- read-only
+  /// handlers answer for unknown objects as if the store were its lazy
+  /// initialization {(t0, initial)}, WITHOUT materializing it, so a client
+  /// (or Byzantine peer) querying random object ids cannot balloon server
+  /// state.
+  const std::map<Tag, Bytes>* find_store(uint32_t object) const;
+
+  /// Newest (tag, value) of `object` without creating its store; the value
+  /// pointer aliases either the store or `initial_`.
+  std::pair<Tag, const Bytes*> newest_entry(uint32_t object) const;
+
   const ProcessId self_;
   const SystemConfig config_;
   net::Transport* const transport_;
@@ -100,6 +112,12 @@ class RegisterServer : public net::IProcess {
   /// (object, tag) -> [(reader, op_id)].
   std::map<std::pair<uint32_t, Tag>, std::vector<std::pair<ProcessId, uint64_t>>>
       deferred_;
+  /// Reverse index: (reader, op_id) -> the deferred_ keys that hold its
+  /// waiters, so READ-DONE cancels with two targeted lookups instead of
+  /// sweeping every deferred entry (which is O(all waiters server-wide) and
+  /// grows with unrelated readers' backlogs).
+  std::map<std::pair<ProcessId, uint64_t>, std::vector<std::pair<uint32_t, Tag>>>
+      deferred_by_op_;
   uint64_t puts_applied_{0};
 };
 

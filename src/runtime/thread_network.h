@@ -70,7 +70,8 @@ class ThreadNetwork final : public net::Transport {
   void mark_crashed(const ProcessId& pid);
 
   // --- net::Transport -----------------------------------------------------
-  void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
+  void send_payload(const ProcessId& from, const ProcessId& to,
+                    Payload payload) override;
   TimeNs now() const override;
   void post(const ProcessId& pid, std::function<void()> fn) override;
   void post_after(const ProcessId& pid, TimeNs delta,

@@ -35,7 +35,8 @@ void Simulator::start_all() {
   }
 }
 
-void Simulator::send(const ProcessId& from, const ProcessId& to, Bytes payload) {
+void Simulator::send_payload(const ProcessId& from, const ProcessId& to,
+                             Payload payload) {
   if (is_crashed(from)) return;  // a crashed process places no messages
   net::Envelope env;
   env.from = from;

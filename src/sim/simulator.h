@@ -67,7 +67,8 @@ class Simulator final : public net::Transport {
 
   // --- net::Transport -----------------------------------------------------
 
-  void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
+  void send_payload(const ProcessId& from, const ProcessId& to,
+                    Payload payload) override;
   TimeNs now() const override { return now_; }
   void post(const ProcessId& pid, std::function<void()> fn) override;
   void post_after(const ProcessId& pid, TimeNs delta,

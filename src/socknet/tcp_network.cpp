@@ -3,12 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cassert>
+#include <cerrno>
 #include <cstring>
-#include <deque>
 #include <utility>
 
 #include "common/log.h"
@@ -18,42 +20,47 @@ namespace bftreg::socknet {
 
 namespace {
 
-/// Reads exactly `len` bytes; false on EOF/error.
-bool read_exact(int fd, uint8_t* buf, size_t len) {
-  size_t got = 0;
-  while (got < len) {
-    const ssize_t r = ::recv(fd, buf + got, len - got, 0);
-    if (r <= 0) return false;
-    got += static_cast<size_t>(r);
-  }
-  return true;
-}
-
-bool write_all(int fd, const uint8_t* buf, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    const ssize_t w = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    sent += static_cast<size_t>(w);
-  }
-  return true;
-}
-
 constexpr size_t kMaxFrame = 64 * 1024 * 1024;  // sanity cap: 64 MiB
+/// Smallest useful recv() target; below this the chunk is rolled/reused.
+constexpr size_t kMinRecv = 4096;
+/// iovec budget per sendmsg (well under any platform's IOV_MAX).
+constexpr size_t kMaxIov = 256;
+/// epoll events handled per wake (also bounds one mailbox batch's sources).
+constexpr int kMaxEvents = 64;
+/// Payload bytes after which a mailbox batch is flushed mid-wake.
+constexpr size_t kBatchFlushBytes = 4 * 1024 * 1024;
+
+uint32_t load_le32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void store_le32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void store_le64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
 
 }  // namespace
 
 struct TcpNetwork::Endpoint {
   ProcessId pid;
   net::IProcess* process{nullptr};
-  // Atomic: stop() publishes -1 while the accept thread is still reading it.
+  // Atomic: stop() publishes -1 while the reader thread is still reading it.
   std::atomic<int> listen_fd{-1};
   uint16_t port{0};
+  int epoll_fd{-1};
+  int wake_fd{-1};  // eventfd; written to pop the reader out of epoll_wait
 
-  std::thread accept_thread;
+  std::thread reader_thread;
+  std::thread writer_thread;
+  std::thread mailbox_thread;
+
+  // Accepted sockets, for debug_shutdown_inbound / stop() wakeups. The fds
+  // themselves are owned (accepted, read, closed) by the reader thread.
   Mutex conn_mu;
-  std::vector<std::thread> conn_threads GUARDED_BY(conn_mu);
-  // Accepted sockets, for shutdown on stop.
   std::vector<int> conn_fds GUARDED_BY(conn_mu);
 
   // Mailbox serializing handler execution (same discipline as the other
@@ -61,11 +68,25 @@ struct TcpNetwork::Endpoint {
   Mutex mu;
   CondVar cv;
   std::deque<std::function<void()>> items GUARDED_BY(mu);
-  std::thread mailbox_thread;
 
-  // Cached outbound connections: destination -> fd.
+  // Outbound: send() appends sealed frames; the writer thread swaps whole
+  // queues out and coalesces them into sendmsg calls. No syscall ever runs
+  // under out_mu (enforced by the blocking-in-lock lint rule).
   Mutex out_mu;
-  std::map<ProcessId, int> out_fds GUARDED_BY(out_mu);
+  CondVar out_cv;
+  std::map<ProcessId, OutQueue> out_queues GUARDED_BY(out_mu);
+  bool writer_paused GUARDED_BY(out_mu){false};
+
+  // Writer-thread private: destination -> connected fd.
+  std::map<ProcessId, int> out_fds;
+
+  // Receive-chunk recycler; shared so payload deleters can outlive us.
+  std::shared_ptr<ChunkPool> pool;
+
+  // Receive-path accounting (reader writes, tests read).
+  std::atomic<uint64_t> chunks_allocated{0};
+  std::atomic<uint64_t> tail_bytes_copied{0};
+  std::atomic<uint64_t> payload_bytes_delivered{0};
 };
 
 TcpNetwork::TcpNetwork(TcpConfig config)
@@ -73,7 +94,19 @@ TcpNetwork::TcpNetwork(TcpConfig config)
       config_(config),
       epoch_(std::chrono::steady_clock::now()) {}
 
-TcpNetwork::~TcpNetwork() { stop(); }
+TcpNetwork::~TcpNetwork() {
+  stop();
+  // Endpoints registered but never start()ed still own their listener,
+  // epoll, and wake fds (stop() reclaims them only for started endpoints,
+  // after joining the reader; for the rest they are still live here).
+  for (auto& [pid, ep] : endpoints_) {
+    const int listen_fd = ep->listen_fd.exchange(-1);
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (ep->epoll_fd >= 0) ::close(ep->epoll_fd);
+    if (ep->wake_fd >= 0) ::close(ep->wake_fd);
+    ep->wake_fd = ep->epoll_fd = -1;
+  }
+}
 
 TimeNs TcpNetwork::now() const {
   return static_cast<TimeNs>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -86,9 +119,14 @@ TcpNetwork::Endpoint* TcpNetwork::find(const ProcessId& pid) {
   return it == endpoints_.end() ? nullptr : it->second.get();
 }
 
-uint16_t TcpNetwork::port_of(const ProcessId& pid) const {
+const TcpNetwork::Endpoint* TcpNetwork::find(const ProcessId& pid) const {
   auto it = endpoints_.find(pid);
-  return it == endpoints_.end() ? 0 : it->second->port;
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+uint16_t TcpNetwork::port_of(const ProcessId& pid) const {
+  const Endpoint* ep = find(pid);
+  return ep == nullptr ? 0 : ep->port;
 }
 
 void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
@@ -96,8 +134,9 @@ void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
   auto ep = std::make_unique<Endpoint>();
   ep->pid = pid;
   ep->process = process;
+  ep->pool = std::make_shared<ChunkPool>(config_.recv_pool_bytes);
 
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   assert(listen_fd >= 0);
   int one = 1;
   ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -109,7 +148,7 @@ void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
   [[maybe_unused]] int rc =
       ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   assert(rc == 0);
-  rc = ::listen(listen_fd, 64);
+  rc = ::listen(listen_fd, 128);
   assert(rc == 0);
 
   sockaddr_in bound{};
@@ -117,6 +156,17 @@ void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
   ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
   ep->port = ntohs(bound.sin_port);
   ep->listen_fd.store(listen_fd);
+
+  ep->epoll_fd = ::epoll_create1(0);
+  assert(ep->epoll_fd >= 0);
+  ep->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+  assert(ep->wake_fd >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = ep->wake_fd;
+  ::epoll_ctl(ep->epoll_fd, EPOLL_CTL_ADD, ep->wake_fd, &ev);
+  ev.data.fd = listen_fd;
+  ::epoll_ctl(ep->epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev);
 
   endpoints_[pid] = std::move(ep);
 }
@@ -127,7 +177,8 @@ void TcpNetwork::start() {
   for (auto& [pid, ep] : endpoints_) {
     Endpoint* e = ep.get();
     e->mailbox_thread = std::thread([this, e] { mailbox_loop(e); });
-    e->accept_thread = std::thread([this, e] { accept_loop(e); });
+    e->writer_thread = std::thread([this, e] { writer_loop(e); });
+    e->reader_thread = std::thread([this, e] { reader_loop(e); });
     enqueue(e, [e] { e->process->on_start(); });
   }
 }
@@ -136,7 +187,9 @@ bool TcpNetwork::on_internal_thread() const {
   const auto self = std::this_thread::get_id();
   if (timer_thread_.joinable() && self == timer_thread_.get_id()) return true;
   for (const auto& [pid, ep] : endpoints_) {
-    if (ep->accept_thread.joinable() && self == ep->accept_thread.get_id())
+    if (ep->reader_thread.joinable() && self == ep->reader_thread.get_id())
+      return true;
+    if (ep->writer_thread.joinable() && self == ep->writer_thread.get_id())
       return true;
     if (ep->mailbox_thread.joinable() && self == ep->mailbox_thread.get_id())
       return true;
@@ -146,46 +199,39 @@ bool TcpNetwork::on_internal_thread() const {
 
 void TcpNetwork::stop() {
   if (!running_.exchange(false)) return;
-  // Joining our own accept/mailbox thread would deadlock; stop() is an
-  // external-thread API (see header contract). Connection threads only
-  // enqueue into mailboxes, so a handler never reaches stop() either.
+  // Joining our own reader/writer/mailbox thread would deadlock; stop() is
+  // an external-thread API (see header contract).
   assert(!on_internal_thread() && "stop() called from a network-owned thread");
   {
     MutexLock lock(timer_mu_);
     timer_cv_.notify_all();
   }
   if (timer_thread_.joinable()) timer_thread_.join();
+
+  // Writers first: they drain what is already queued (readers are still
+  // alive to consume it) and close the outbound fds on exit.
   for (auto& [pid, ep] : endpoints_) {
-    // Shut the listener; accept() wakes with an error and the loop exits.
-    const int listen_fd = ep->listen_fd.exchange(-1);
-    if (listen_fd >= 0) {
-      ::shutdown(listen_fd, SHUT_RDWR);
-      ::close(listen_fd);
-    }
-    {
-      MutexLock lock(ep->out_mu);
-      for (auto& [to, fd] : ep->out_fds) ::close(fd);
-      ep->out_fds.clear();
-    }
-    // Wake connection threads blocked in recv().
-    {
-      MutexLock lock(ep->conn_mu);
-      for (int fd : ep->conn_fds) ::shutdown(fd, SHUT_RDWR);
-    }
+    MutexLock lock(ep->out_mu);
+    ep->out_cv.notify_all();
   }
   for (auto& [pid, ep] : endpoints_) {
-    if (ep->accept_thread.joinable()) ep->accept_thread.join();
-    // The accept thread is joined, so no further connection threads can be
-    // added; move them out under the lock and join outside it.
-    std::vector<std::thread> conns;
-    {
-      MutexLock lock(ep->conn_mu);
-      conns = std::move(ep->conn_threads);
-      ep->conn_threads.clear();
-    }
-    for (auto& t : conns) {
-      if (t.joinable()) t.join();
-    }
+    if (ep->writer_thread.joinable()) ep->writer_thread.join();
+  }
+
+  // Readers: pop them out of epoll_wait; each closes its own fds on exit.
+  for (auto& [pid, ep] : endpoints_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t w = ::write(ep->wake_fd, &one, sizeof(one));
+  }
+  for (auto& [pid, ep] : endpoints_) {
+    if (ep->reader_thread.joinable()) ep->reader_thread.join();
+    // The reader is gone; reclaim the fds it was polling (done here, not at
+    // reader exit, so the wake write above never races a close).
+    const int listen_fd = ep->listen_fd.exchange(-1);
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (ep->wake_fd >= 0) ::close(ep->wake_fd);
+    if (ep->epoll_fd >= 0) ::close(ep->epoll_fd);
+    ep->wake_fd = ep->epoll_fd = -1;
     {
       MutexLock lock(ep->mu);
       ep->cv.notify_all();
@@ -196,85 +242,255 @@ void TcpNetwork::stop() {
 
 void TcpNetwork::enqueue(Endpoint* ep, std::function<void()> fn) {
   MutexLock lock(ep->mu);
+  const bool was_idle = ep->items.empty();
   ep->items.push_back(std::move(fn));
-  ep->cv.notify_one();
+  // Transition-only wake: a non-empty queue means the mailbox thread is
+  // mid-batch and re-checks before waiting.
+  if (was_idle) ep->cv.notify_one();
+}
+
+void TcpNetwork::enqueue_batch(Endpoint* ep, std::vector<net::Envelope> batch) {
+  net::IProcess* proc = ep->process;
+  enqueue(ep, [proc, b = std::move(batch)] {
+    for (const net::Envelope& env : b) proc->on_message(env);
+  });
 }
 
 void TcpNetwork::mailbox_loop(Endpoint* ep) {
+  std::deque<std::function<void()>> work;
   for (;;) {
-    std::function<void()> fn;
+    work.clear();
     {
       MutexLock lock(ep->mu);
       while (ep->items.empty() && running_.load()) ep->cv.wait(lock);
       if (ep->items.empty()) return;
-      fn = std::move(ep->items.front());
-      ep->items.pop_front();
+      work.swap(ep->items);
     }
-    fn();
+    for (auto& fn : work) fn();
   }
 }
 
-void TcpNetwork::accept_loop(Endpoint* ep) {
+// --- inbound ---------------------------------------------------------------
+
+void TcpNetwork::reader_loop(Endpoint* ep) {
+  std::map<int, ConnState> conns;
+  std::vector<net::Envelope> batch;
+  size_t batch_bytes = 0;
+  epoll_event evs[kMaxEvents];
+
   for (;;) {
-    const int listen_fd = ep->listen_fd.load();
-    if (listen_fd < 0) return;  // stop() already closed the listener
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) return;  // listener closed
+    const int n = ::epoll_wait(ep->epoll_fd, evs, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!running_.load()) break;
+    batch.clear();
+    for (int i = 0; i < n; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == ep->wake_fd) {
+        uint64_t v;
+        [[maybe_unused]] ssize_t r = ::read(ep->wake_fd, &v, sizeof(v));
+        continue;
+      }
+      if (fd == ep->listen_fd.load()) {
+        accept_ready(ep);
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) {
+        // Raced with accept: state created on first readiness.
+        it = conns.emplace(fd, ConnState{}).first;
+      }
+      const size_t appended_from = batch.size();
+      if (!conn_readable(ep, fd, it->second, &batch)) {
+        close_conn(ep, fd);
+        conns.erase(it);
+      }
+      for (size_t b = appended_from; b < batch.size(); ++b) {
+        batch_bytes += batch[b].payload.size();
+      }
+      // Flush mid-wake once a batch holds a lot of payload: the handler
+      // thread starts sooner and its freed chunks recycle into the pool
+      // while we keep reading (matters for multi-MiB frames, where one
+      // wake can otherwise pin tens of chunks in one batch).
+      if (batch_bytes >= kBatchFlushBytes) {
+        enqueue_batch(ep, std::move(batch));
+        batch = {};
+        batch_bytes = 0;
+      }
+    }
+    // One mailbox signal per readiness wake, however many frames arrived.
+    if (!batch.empty()) enqueue_batch(ep, std::move(batch));
+    batch = {};
+    batch_bytes = 0;
+  }
+
+  for (auto& [fd, st] : conns) close_conn(ep, fd);
+  // listen/wake/epoll fds are closed by stop() AFTER this thread is joined:
+  // closing them here would race the wake write in stop() (and an unlucky
+  // fd reuse would make that write land in an unrelated descriptor).
+}
+
+void TcpNetwork::accept_ready(Endpoint* ep) {
+  const int listen_fd = ep->listen_fd.load();
+  if (listen_fd < 0) return;
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN (drained) or listener closing
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(ep->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
     MutexLock lock(ep->conn_mu);
     ep->conn_fds.push_back(fd);
-    ep->conn_threads.emplace_back([this, ep, fd] { connection_loop(ep, fd); });
   }
 }
 
-void TcpNetwork::connection_loop(Endpoint* ep, int fd) {
-  // Frames: [u32 len][from(5)][to(5)][mac u64][payload].
+void TcpNetwork::close_conn(Endpoint* ep, int fd) {
+  ::epoll_ctl(ep->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  MutexLock lock(ep->conn_mu);
+  std::erase(ep->conn_fds, fd);
+}
+
+bool TcpNetwork::conn_readable(Endpoint* ep, int fd, ConnState& st,
+                               std::vector<net::Envelope>* batch) {
   for (;;) {
-    uint8_t len_buf[4];
-    if (!read_exact(fd, len_buf, 4)) break;
-    Deserializer lend(len_buf, 4);
-    const uint32_t frame_len = lend.get_u32();
-    if (frame_len < 5 + 5 + 8 || frame_len > kMaxFrame) break;
+    if (!ensure_recv_space(ep, st)) return false;
+    Chunk& c = *st.chunk;
+    const ssize_t r =
+        ::recv(fd, c.data.get() + c.filled, c.cap - c.filled, 0);
+    if (r > 0) {
+      c.filled += static_cast<size_t>(r);
+      if (!parse_frames(ep, st, batch)) return false;
+      continue;  // drain until EAGAIN; level-triggered epoll backs us up
+    }
+    if (r == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
 
-    Bytes frame(frame_len);
-    if (!read_exact(fd, frame.data(), frame_len)) break;
+/// Pops a pooled chunk of at least `min_cap` or allocates a fresh one. The
+/// returned shared_ptr's deleter pushes the chunk back into the pool when
+/// the last aliasing payload dies, so steady-state traffic recycles a small
+/// working set of buffers instead of churning the allocator.
+std::shared_ptr<TcpNetwork::Chunk> TcpNetwork::acquire_chunk(Endpoint* ep,
+                                                             size_t min_cap) {
+  std::shared_ptr<ChunkPool> pool = ep->pool;
+  std::unique_ptr<Chunk> chunk;
+  {
+    MutexLock lock(pool->mu);
+    for (auto it = pool->free_list.rbegin(); it != pool->free_list.rend(); ++it) {
+      if ((*it)->cap < min_cap) continue;
+      chunk = std::move(*it);
+      pool->bytes -= chunk->cap;
+      pool->free_list.erase(std::next(it).base());
+      break;
+    }
+  }
+  if (!chunk) {
+    chunk = std::make_unique<Chunk>(min_cap);
+    ep->chunks_allocated.fetch_add(1, std::memory_order_relaxed);
+  }
+  chunk->filled = 0;
+  return std::shared_ptr<Chunk>(chunk.release(), [pool](Chunk* c) {
+    std::unique_ptr<Chunk> owned(c);
+    MutexLock lock(pool->mu);
+    if (pool->bytes + owned->cap <= pool->max_bytes) {
+      pool->bytes += owned->cap;
+      pool->free_list.push_back(std::move(owned));
+    }
+  });
+}
 
-    Deserializer d(frame);
+/// Guarantees room to recv into the chunk with the pending partial frame
+/// (if any) kept contiguous. Chunks still referenced by delivered payloads
+/// are never reused; unreferenced ones are recycled in place.
+bool TcpNetwork::ensure_recv_space(Endpoint* ep, ConnState& st) {
+  const size_t default_cap = std::max(config_.recv_chunk_bytes, kMinRecv);
+  if (!st.chunk) {
+    st.chunk = acquire_chunk(ep, default_cap);
+    return true;
+  }
+  Chunk& c = *st.chunk;
+  const size_t unparsed = c.filled - st.parse_pos;
+
+  // How much contiguous room the data at parse_pos needs: the whole next
+  // frame if its header is visible (parse_frames validated it), otherwise
+  // just a minimum read window.
+  size_t needed = unparsed + kMinRecv;
+  if (unparsed >= 4) {
+    const uint32_t frame_len = load_le32(c.data.get() + st.parse_pos);
+    needed = std::max(needed, size_t{4} + frame_len);
+  }
+  if (c.cap - st.parse_pos >= needed && c.cap > c.filled) return true;
+
+  if (unparsed == 0 && st.chunk.use_count() == 1) {
+    // Nothing pending and no delivered view aliases us: recycle in place.
+    c.filled = 0;
+    st.parse_pos = 0;
+    return true;
+  }
+
+  auto fresh = acquire_chunk(ep, std::max(default_cap, needed));
+  if (unparsed > 0) {
+    // The only copy on the receive path: a partial frame's tail carried
+    // into the new chunk. Bounded by one chunk regardless of payload size
+    // (tests assert this via recv_stats).
+    std::memcpy(fresh->data.get(), c.data.get() + st.parse_pos, unparsed);
+    ep->tail_bytes_copied.fetch_add(unparsed, std::memory_order_relaxed);
+  }
+  fresh->filled = unparsed;
+  st.chunk = std::move(fresh);
+  st.parse_pos = 0;
+  return true;
+}
+
+/// Parses every complete frame at parse_pos, appending envelopes whose
+/// payloads alias the chunk. Returns false to kill the connection (corrupt
+/// framing); forged MACs only drop the frame.
+bool TcpNetwork::parse_frames(Endpoint* ep, ConnState& st,
+                              std::vector<net::Envelope>* batch) {
+  Chunk& c = *st.chunk;
+  for (;;) {
+    const size_t avail = c.filled - st.parse_pos;
+    if (avail < 4) return true;
+    const uint8_t* base = c.data.get() + st.parse_pos;
+    const uint32_t frame_len = load_le32(base);
+    if (frame_len < kHeaderSize - 4 || frame_len > kMaxFrame) return false;
+    if (avail < size_t{4} + frame_len) return true;  // incomplete
+
+    Deserializer d(base + 4, kHeaderSize - 4);
     const ProcessId from = d.get_process_id();
     const ProcessId to = d.get_process_id();
     const uint64_t mac = d.get_u64();
-    if (!d.ok() || !(to == ep->pid)) break;  // misrouted or corrupt
-    Bytes payload(frame.begin() + static_cast<long>(frame_len - d.remaining()),
-                  frame.end());
+    if (!d.ok() || !(to == ep->pid)) return false;  // misrouted or corrupt
+
+    const BytesView payload(base + kHeaderSize, frame_len - (kHeaderSize - 4));
+    st.parse_pos += size_t{4} + frame_len;
 
     if (!auth_.verify(from, to, payload, mac)) {
       metrics_.on_auth_failure();
       continue;  // drop the forged frame, keep the connection
     }
     metrics_.on_deliver();
+    ep->payload_bytes_delivered.fetch_add(payload.size(),
+                                          std::memory_order_relaxed);
     net::Envelope env;
     env.from = from;
     env.to = to;
     env.mac = mac;
-    env.payload = std::move(payload);
-    net::IProcess* proc = ep->process;
-    enqueue(ep, [proc, e = std::move(env)] { proc->on_message(e); });
+    env.payload = Payload(st.chunk, payload);
+    batch->push_back(std::move(env));
   }
-  ::close(fd);
 }
 
-Bytes TcpNetwork::seal_frame(const crypto::Authenticator& auth,
-                             const ProcessId& from, const ProcessId& to,
-                             const Bytes& payload) {
-  Serializer s;
-  const uint32_t frame_len = static_cast<uint32_t>(5 + 5 + 8 + payload.size());
-  s.put_u32(frame_len);
-  s.put_process_id(from);
-  s.put_process_id(to);
-  s.put_u64(auth.seal(from, to, payload));
-  Bytes out = s.take();
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
-}
+// --- outbound --------------------------------------------------------------
 
 int TcpNetwork::connect_to(const ProcessId& to) {
   Endpoint* dst = find(to);
@@ -294,32 +510,147 @@ int TcpNetwork::connect_to(const ProcessId& to) {
   return fd;
 }
 
-void TcpNetwork::send(const ProcessId& from, const ProcessId& to, Bytes payload) {
+void TcpNetwork::send_payload(const ProcessId& from, const ProcessId& to,
+                              Payload payload) {
   if (!running_.load()) return;
   Endpoint* src = find(from);
   if (src == nullptr) return;
 
-  const Bytes frame = seal_frame(auth_, from, to, payload);
+  // Seal the fixed-size header straight into the frame: no Serializer
+  // buffer, no payload concatenation (the writer scatter-gathers).
+  OutFrame frame;
+  uint8_t* h = frame.header.data();
+  store_le32(h, static_cast<uint32_t>(kHeaderSize - 4 + payload.size()));
+  h[4] = static_cast<uint8_t>(from.role);
+  store_le32(h + 5, from.index);
+  h[9] = static_cast<uint8_t>(to.role);
+  store_le32(h + 10, to.index);
+  store_le64(h + 14, auth_.seal(from, to, payload));
+
   metrics_.on_send(payload.size());
+  frame.payload = std::move(payload);
+  const size_t frame_bytes = kHeaderSize + frame.payload.size();
 
   MutexLock lock(src->out_mu);
-  auto it = src->out_fds.find(to);
-  if (it == src->out_fds.end()) {
-    const int fd = connect_to(to);
-    if (fd < 0) return;  // destination gone (e.g. stopping)
-    it = src->out_fds.emplace(to, fd).first;
+  OutQueue& q = src->out_queues[to];
+  if (!q.pending.empty() && q.pending_bytes + frame_bytes > config_.max_outbox_bytes) {
+    metrics_.on_drop();  // bounded queue: shed instead of growing
+    return;
   }
-  if (!write_all(it->second, frame.data(), frame.size())) {
+  const bool was_idle = q.pending.empty();
+  q.pending_bytes += frame_bytes;
+  q.pending.push_back(std::move(frame));
+  // Only an empty->non-empty transition can find the writer asleep; a
+  // non-empty queue means a prior send already signalled (or the writer is
+  // mid-flush and re-gathers before waiting).
+  if (was_idle) src->out_cv.notify_one();
+}
+
+void TcpNetwork::writer_loop(Endpoint* ep) {
+  // (destination, frames) batches swapped out under the lock, flushed
+  // outside it -- the writer owns all outbound sockets and is the only
+  // thread that blocks on them.
+  std::vector<std::pair<ProcessId, std::deque<OutFrame>>> work;
+  for (;;) {
+    work.clear();
+    {
+      MutexLock lock(ep->out_mu);
+      for (;;) {
+        if (!ep->writer_paused) {
+          for (auto& [to, q] : ep->out_queues) {
+            if (q.pending.empty()) continue;
+            work.emplace_back(to, std::move(q.pending));
+            q.pending.clear();
+            q.pending_bytes = 0;
+          }
+        }
+        if (!work.empty() || !running_.load()) break;
+        ep->out_cv.wait(lock);
+      }
+    }
+    if (work.empty()) break;  // stopped and drained
+    for (auto& [to, frames] : work) flush_to(ep, to, &frames);
+  }
+  for (auto& [to, fd] : ep->out_fds) ::close(fd);
+  ep->out_fds.clear();
+}
+
+void TcpNetwork::flush_to(Endpoint* ep, const ProcessId& to,
+                          std::deque<OutFrame>* frames) {
+  auto it = ep->out_fds.find(to);
+  if (it == ep->out_fds.end()) {
+    const int fd = connect_to(to);
+    if (fd < 0) {  // destination gone (e.g. stopping)
+      metrics_.on_drop_n(frames->size());
+      return;
+    }
+    it = ep->out_fds.emplace(to, fd).first;
+  }
+  if (!sendmsg_frames(it->second, frames)) {
     ::close(it->second);
-    src->out_fds.erase(it);
+    ep->out_fds.erase(it);
     // One reconnect attempt; drop on repeated failure (TCP gives us
     // reliable FIFO while up; process failure is a crash in the model).
+    // Frames fully written to the dead socket are not resent -- the model's
+    // channels may lose messages only when an endpoint crashed, and client
+    // deadlines retransmit.
     const int fd = connect_to(to);
-    if (fd < 0) return;
-    src->out_fds.emplace(to, fd);
-    write_all(fd, frame.data(), frame.size());
+    if (fd < 0) {
+      metrics_.on_drop_n(frames->size());
+      return;
+    }
+    ep->out_fds.emplace(to, fd);
+    if (!sendmsg_frames(fd, frames)) metrics_.on_drop_n(frames->size());
   }
 }
+
+/// Coalesces frames into as few sendmsg calls as the iovec budget allows.
+/// On failure returns false with `frames` trimmed to the unsent suffix
+/// (front frame possibly partially transmitted on the dead connection).
+bool TcpNetwork::sendmsg_frames(int fd, std::deque<OutFrame>* frames) {
+  size_t offset = 0;  // bytes of frames->front() already on the wire
+  while (!frames->empty()) {
+    iovec iov[kMaxIov];
+    size_t niov = 0;
+    for (auto it = frames->begin();
+         it != frames->end() && niov + 2 <= kMaxIov; ++it) {
+      size_t off = (it == frames->begin()) ? offset : 0;
+      if (off < kHeaderSize) {
+        iov[niov].iov_base = it->header.data() + off;
+        iov[niov].iov_len = kHeaderSize - off;
+        ++niov;
+        off = 0;
+      } else {
+        off -= kHeaderSize;
+      }
+      if (it->payload.size() > off) {
+        // iovec's iov_base is non-const by design; sendmsg only reads.
+        iov[niov].iov_base = const_cast<uint8_t*>(it->payload.data()) + off;
+        iov[niov].iov_len = it->payload.size() - off;
+        ++niov;
+      }
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    const ssize_t w = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    size_t advanced = offset + static_cast<size_t>(w);
+    while (!frames->empty()) {
+      const size_t flen = kHeaderSize + frames->front().payload.size();
+      if (advanced < flen) break;
+      advanced -= flen;
+      frames->pop_front();
+    }
+    offset = advanced;
+  }
+  return true;
+}
+
+// --- timers / posting ------------------------------------------------------
 
 void TcpNetwork::timer_loop() {
   MutexLock lock(timer_mu_);
@@ -356,6 +687,47 @@ void TcpNetwork::post_after(const ProcessId& pid, TimeNs delta,
 
 void TcpNetwork::post(const ProcessId& pid, std::function<void()> fn) {
   if (Endpoint* ep = find(pid)) enqueue(ep, std::move(fn));
+}
+
+// --- test hooks ------------------------------------------------------------
+
+TcpNetwork::RecvStats TcpNetwork::recv_stats(const ProcessId& pid) const {
+  RecvStats out;
+  if (const Endpoint* ep = find(pid)) {
+    out.chunks_allocated = ep->chunks_allocated.load(std::memory_order_relaxed);
+    out.tail_bytes_copied = ep->tail_bytes_copied.load(std::memory_order_relaxed);
+    out.payload_bytes_delivered =
+        ep->payload_bytes_delivered.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void TcpNetwork::debug_shutdown_inbound(const ProcessId& pid) {
+  Endpoint* ep = find(pid);
+  if (ep == nullptr) return;
+  MutexLock lock(ep->conn_mu);
+  // Shut down (not close): the reader owns the fds and reaps them on the
+  // EOF this provokes.
+  for (int fd : ep->conn_fds) ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpNetwork::debug_pause_writer(const ProcessId& pid, bool paused) {
+  Endpoint* ep = find(pid);
+  if (ep == nullptr) return;
+  MutexLock lock(ep->out_mu);
+  ep->writer_paused = paused;
+  ep->out_cv.notify_all();
+}
+
+size_t TcpNetwork::debug_outbox_bytes(const ProcessId& from,
+                                      const ProcessId& to) const {
+  // Locks, hence the const_cast of the map lookup (endpoints_ itself is
+  // immutable after start()).
+  Endpoint* ep = const_cast<TcpNetwork*>(this)->find(from);
+  if (ep == nullptr) return 0;
+  MutexLock lock(ep->out_mu);
+  auto it = ep->out_queues.find(to);
+  return it == ep->out_queues.end() ? 0 : it->second.pending_bytes;
 }
 
 }  // namespace bftreg::socknet

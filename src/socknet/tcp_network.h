@@ -2,20 +2,41 @@
 //
 // Third implementation of net::Transport (after the deterministic
 // simulator and the in-memory thread runtime): every process gets a
-// listening TCP socket on 127.0.0.1; sends open (and cache) real
-// connections and ship length-prefixed, MAC-sealed frames through the
-// kernel. Nothing protocol-level changes -- the same state machines run
-// unmodified -- which is the point: the paper's algorithms assume only
-// reliable authenticated point-to-point channels, and TCP + the MAC layer
-// provides exactly that.
+// listening TCP socket on 127.0.0.1; sends ship length-prefixed,
+// MAC-sealed frames through the kernel. Nothing protocol-level changes --
+// the same state machines run unmodified -- which is the point: the
+// paper's algorithms assume only reliable authenticated point-to-point
+// channels, and TCP + the MAC layer provides exactly that.
+//
+// Data plane (rebuilt for throughput; before/after numbers in docs/PERF.md):
+//
+//   Outbound  send() seals a 22-byte header, appends (header, payload) to a
+//             bounded per-destination queue and returns -- no syscall, no
+//             payload concatenation, no blocking I/O under a lock. A
+//             per-endpoint writer thread drains whole queues with sendmsg +
+//             iovec coalescing: every frame pending for a peer goes out in
+//             as few syscalls as IOV_MAX allows. A full queue sheds the
+//             frame (metrics().messages_dropped) instead of growing without
+//             bound; client deadlines (registers::OpMux) retransmit.
+//
+//   Inbound   one epoll reader thread per endpoint (replacing
+//             thread-per-connection) reads into large refcounted chunks,
+//             parses frames in place, and delivers payload *views* aliasing
+//             the chunk (common/buffer.h) -- zero payload copies between
+//             the kernel and the handler. All messages parsed in one
+//             readiness wake are handed to the mailbox as one batch, so the
+//             handler thread is signalled once per wake, not once per
+//             message.
 //
 // Scope: single-host loopback (the offline build environment has no
 // external network). The wire format is position-independent, so pointing
 // the address book at remote hosts is a config change, not a code change.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -35,6 +56,19 @@ struct TcpConfig {
   uint64_t master_secret{0x5eC4e7B17e5eCBA5ULL};
   /// Listening address (loopback only in this build).
   const char* host{"127.0.0.1"};
+  /// Per-destination outbound queue cap in bytes (headers + payloads). A
+  /// send() that would push a non-empty queue past the cap is shed and
+  /// counted in metrics().messages_dropped; a single frame larger than the
+  /// cap is still accepted so jumbo payloads cannot deadlock themselves.
+  size_t max_outbox_bytes{32 * 1024 * 1024};
+  /// Receive chunk size: frames are parsed in place inside chunks of this
+  /// capacity (grown per-frame when a single frame is larger).
+  size_t recv_chunk_bytes{256 * 1024};
+  /// Cap on pooled receive chunks per endpoint. Chunks are recycled through
+  /// a free list when the last payload view into them dies; without the
+  /// pool, large-payload workloads pay an mmap + page-fault round trip per
+  /// message (measured ~330 soft faults per 1 MiB frame).
+  size_t recv_pool_bytes{64 * 1024 * 1024};
 };
 
 class TcpNetwork final : public net::Transport {
@@ -49,8 +83,8 @@ class TcpNetwork final : public net::Transport {
   /// and records it in the address book. Call before start().
   void add_process(const ProcessId& pid, net::IProcess* process);
 
-  /// Spawns the accept/receive threads and delivers on_start() to every
-  /// process (on its mailbox thread, like the other runtimes).
+  /// Spawns the reader/writer/mailbox threads and delivers on_start() to
+  /// every process (on its mailbox thread, like the other runtimes).
   void start();
 
   /// Closes sockets and joins all threads.
@@ -59,23 +93,92 @@ class TcpNetwork final : public net::Transport {
   /// `running_` exchange) performs the shutdown; later or concurrent calls
   /// return immediately without waiting for it to finish. Must be called
   /// from an *external* thread (the owner or any client thread), never from
-  /// a mailbox, accept, or connection thread: stop() joins those threads
-  /// and would self-deadlock. Asserted in debug builds.
+  /// a mailbox, reader, or writer thread: stop() joins those threads and
+  /// would self-deadlock. Asserted in debug builds.
   void stop();
 
   /// The port a process listens on (for logging / external tooling).
   uint16_t port_of(const ProcessId& pid) const;
 
   // --- net::Transport -----------------------------------------------------
-  void send(const ProcessId& from, const ProcessId& to, Bytes payload) override;
+  void send_payload(const ProcessId& from, const ProcessId& to,
+                    Payload payload) override;
   TimeNs now() const override;
   void post(const ProcessId& pid, std::function<void()> fn) override;
   void post_after(const ProcessId& pid, TimeNs delta,
                   std::function<void()> fn) override;
   net::NetworkMetrics& metrics() override { return metrics_; }
 
+  // --- test hooks ----------------------------------------------------------
+
+  /// Receive-path accounting for the zero-copy guarantee: the only payload
+  /// bytes ever copied on delivery are partial-frame tails carried across a
+  /// chunk roll (bounded by one chunk, independent of payload size).
+  struct RecvStats {
+    uint64_t chunks_allocated{0};
+    uint64_t tail_bytes_copied{0};
+    uint64_t payload_bytes_delivered{0};
+  };
+  RecvStats recv_stats(const ProcessId& pid) const;
+
+  /// Shuts down every connection accepted by `pid`'s endpoint (simulates a
+  /// peer's socket dying mid-stream; senders must reconnect).
+  void debug_shutdown_inbound(const ProcessId& pid);
+
+  /// Pauses/resumes `pid`'s writer thread so tests can fill the bounded
+  /// outbound queue deterministically. stop() overrides a pause.
+  void debug_pause_writer(const ProcessId& pid, bool paused);
+
+  /// Bytes currently queued from `from` toward `to` (headers + payloads).
+  size_t debug_outbox_bytes(const ProcessId& from, const ProcessId& to) const;
+
  private:
   struct Endpoint;
+
+  /// Frame header: [u32 length][from pid (5)][to pid (5)][u64 mac]; length
+  /// counts everything after itself (addressing + mac + payload).
+  static constexpr size_t kHeaderSize = 4 + 5 + 5 + 8;
+
+  /// One sealed outbound frame: fixed header + refcounted payload view. The
+  /// writer thread scatter-gathers both with sendmsg, so the payload is
+  /// never concatenated into a contiguous frame -- and a payload fanned out
+  /// to n peers is shared by all n frames, not copied.
+  struct OutFrame {
+    std::array<uint8_t, kHeaderSize> header;
+    Payload payload;
+  };
+
+  struct OutQueue {
+    std::deque<OutFrame> pending;
+    size_t pending_bytes{0};
+  };
+
+  /// Refcounted receive chunk; delivered payloads alias it via
+  /// Payload(shared_ptr, view) and keep it alive past the reader's reuse.
+  struct Chunk {
+    explicit Chunk(size_t capacity)
+        : data(new uint8_t[capacity]), cap(capacity) {}
+    std::unique_ptr<uint8_t[]> data;
+    size_t cap;
+    size_t filled{0};
+  };
+
+  /// Bounded free list of receive chunks. Shared-ptr'd independently of the
+  /// Endpoint because delivered payloads (which return chunks here from
+  /// their deleter) may outlive the network object.
+  struct ChunkPool {
+    explicit ChunkPool(size_t cap) : max_bytes(cap) {}
+    const size_t max_bytes;
+    Mutex mu;
+    std::vector<std::unique_ptr<Chunk>> free_list GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu){0};
+  };
+
+  /// Per-connection reader state (reader thread private).
+  struct ConnState {
+    std::shared_ptr<Chunk> chunk;
+    size_t parse_pos{0};
+  };
 
   /// Pending post_after timer; fired by the timer thread via post().
   struct Timer {
@@ -88,18 +191,30 @@ class TcpNetwork final : public net::Transport {
     }
   };
 
-  void accept_loop(Endpoint* ep);
-  void connection_loop(Endpoint* ep, int fd);
+  void reader_loop(Endpoint* ep);
+  void writer_loop(Endpoint* ep);
   void mailbox_loop(Endpoint* ep);
   void timer_loop() EXCLUDES(timer_mu_);
   void enqueue(Endpoint* ep, std::function<void()> fn);
+  void enqueue_batch(Endpoint* ep, std::vector<net::Envelope> batch);
   int connect_to(const ProcessId& to);
   Endpoint* find(const ProcessId& pid);
+  const Endpoint* find(const ProcessId& pid) const;
   bool on_internal_thread() const;
 
-  /// Frame: [u32 length][from pid (5)][to pid (5)][u64 mac][payload].
-  static Bytes seal_frame(const crypto::Authenticator& auth, const ProcessId& from,
-                          const ProcessId& to, const Bytes& payload);
+  // Reader-thread helpers (all private to `ep`'s reader thread).
+  void accept_ready(Endpoint* ep);
+  bool conn_readable(Endpoint* ep, int fd, ConnState& st,
+                     std::vector<net::Envelope>* batch);
+  bool parse_frames(Endpoint* ep, ConnState& st,
+                    std::vector<net::Envelope>* batch);
+  bool ensure_recv_space(Endpoint* ep, ConnState& st);
+  static std::shared_ptr<Chunk> acquire_chunk(Endpoint* ep, size_t min_cap);
+  void close_conn(Endpoint* ep, int fd);
+
+  // Writer-thread helpers.
+  void flush_to(Endpoint* ep, const ProcessId& to, std::deque<OutFrame>* frames);
+  static bool sendmsg_frames(int fd, std::deque<OutFrame>* frames);
 
   crypto::Authenticator auth_;
   TcpConfig config_;

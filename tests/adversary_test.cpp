@@ -18,7 +18,7 @@ using registers::RegisterMessage;
 class Probe final : public net::IProcess {
  public:
   void on_message(const net::Envelope& env) override {
-    raw.push_back(env.payload);
+    raw.push_back(env.payload.to_bytes());
     if (auto m = RegisterMessage::parse(env.payload)) parsed.push_back(*m);
   }
   std::vector<Bytes> raw;

@@ -145,6 +145,65 @@ TEST(LintLegacySingleOp, RegistersLayerAndUnrelatedNamesExempt) {
       "legacy-single-op"));
 }
 
+TEST(LintBlockingInLock, SyscallUnderMutexLockFlagged) {
+  // The old transport's exact shape: framing + write_all inside the send
+  // mutex, serializing every sender behind the kernel.
+  const std::string src =
+      "void send(const Bytes& frame) {\n"
+      "  MutexLock lock(send_mu_);\n"
+      "  if (!write_all(fd, frame.data(), frame.size())) reconnect();\n"
+      "}\n";
+  const auto vs = lint_content("src/socknet/tcp_network.cpp", src);
+  ASSERT_TRUE(has_rule(vs, "blocking-in-lock"));
+  EXPECT_EQ(vs.front().line, 3);
+}
+
+TEST(LintBlockingInLock, RawSyscallsAndNestedScopesFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/socknet/tcp_network.cpp",
+                   "MutexLock lock(mu_);\n"
+                   "ssize_t w = ::sendmsg(fd, &mh, MSG_NOSIGNAL);\n"),
+      "blocking-in-lock"));
+  // Held across a nested scope: still held at the call.
+  EXPECT_TRUE(has_rule(
+      lint_content("src/socknet/tcp_network.cpp",
+                   "{\n"
+                   "  MutexLock lock(conn_mu_);\n"
+                   "  for (int fd : fds) {\n"
+                   "    ::recv(fd, buf, sizeof(buf), 0);\n"
+                   "  }\n"
+                   "}\n"),
+      "blocking-in-lock"));
+}
+
+TEST(LintBlockingInLock, OutsideLockScopeNotFlagged) {
+  // Stage-under-lock, syscall-after-release: the pattern the rule demands.
+  const std::string src =
+      "std::deque<OutFrame> work;\n"
+      "{\n"
+      "  MutexLock lock(out_mu_);\n"
+      "  work.swap(queue_);\n"
+      "}\n"
+      "::sendmsg(fd, &mh, MSG_NOSIGNAL);\n";
+  EXPECT_FALSE(
+      has_rule(lint_content("src/socknet/tcp_network.cpp", src), "blocking-in-lock"));
+}
+
+TEST(LintBlockingInLock, QualifiedMembersAndWaiverExempt) {
+  // `Cluster::write(` is a member definition, not the write(2) syscall.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/harness/thread_cluster.cpp",
+                   "MutexLock lock(mu_);\n"
+                   "WriteResult ThreadCluster::write(size_t w, Bytes v) {\n"),
+      "blocking-in-lock"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/storage/wal.cpp",
+                   "MutexLock lock(mu_);\n"
+                   "// bftreg-lint: allow(blocking-in-lock) WAL must sync in order\n"
+                   "::fsync(fd_);\n"),
+      "blocking-in-lock"));
+}
+
 TEST(LintWaiver, SameLineAndPreviousLineWaive) {
   const std::string same =
       "std::mutex g;  // bftreg-lint: allow(unguarded-mutex) guards stderr\n";

@@ -193,6 +193,89 @@ TEST_F(ServerFixture, StoredBytesTracksPayloads) {
   EXPECT_EQ(server_.stored_bytes(), initial + 100);
 }
 
+TEST_F(ServerFixture, ReadOnlyQueriesDoNotCreateStores) {
+  ASSERT_EQ(server_.objects_known(), 1u);  // only the default register
+
+  RegisterMessage q;
+  q.op_id = 1;
+  q.object = 42;
+  for (MsgType type : {MsgType::kQueryTag, MsgType::kQueryData,
+                       MsgType::kQueryHistory, MsgType::kQueryTagHistory}) {
+    q.type = type;
+    send(reader_, q);
+  }
+  ASSERT_EQ(reader_probe_.received.size(), 4u);
+  // Every answer is the lazy initialization {(t0, v0)} -- but the store for
+  // object 42 was never materialized.
+  EXPECT_EQ(reader_probe_.received[0].tag, Tag::initial());
+  EXPECT_EQ(reader_probe_.received[1].value, (Bytes{'v', '0'}));
+  ASSERT_EQ(reader_probe_.received[2].history.size(), 1u);
+  EXPECT_EQ(reader_probe_.received[2].history[0].value, (Bytes{'v', '0'}));
+  ASSERT_EQ(reader_probe_.received[3].tags.size(), 1u);
+  EXPECT_EQ(reader_probe_.received[3].tags[0], Tag::initial());
+  EXPECT_EQ(server_.objects_known(), 1u);
+
+  // DATA-AT for t0 on an unknown object answers v0 without a store either.
+  q.type = MsgType::kQueryDataAt;
+  q.tag = Tag::initial();
+  send(reader_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 5u);
+  EXPECT_EQ(reader_probe_.received[4].type, MsgType::kDataAtResp);
+  EXPECT_EQ(reader_probe_.received[4].value, (Bytes{'v', '0'}));
+  EXPECT_EQ(server_.objects_known(), 1u);
+}
+
+TEST_F(ServerFixture, QueryDataBatchDoesNotCreateStores) {
+  RegisterMessage q;
+  q.type = MsgType::kQueryDataBatch;
+  q.op_id = 9;
+  q.objects = {7, 8, 9, 10};
+  send(reader_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  const auto& resp = reader_probe_.received[0];
+  EXPECT_EQ(resp.type, MsgType::kDataBatchResp);
+  ASSERT_EQ(resp.history.size(), 4u);
+  for (const auto& tv : resp.history) {
+    EXPECT_EQ(tv.tag, Tag::initial());
+    EXPECT_EQ(tv.value, (Bytes{'v', '0'}));
+  }
+  // A (possibly Byzantine) client probing arbitrary ids must not balloon
+  // server state: no stores were created for objects 7..10.
+  EXPECT_EQ(server_.objects_known(), 1u);
+}
+
+TEST_F(ServerFixture, ReadDoneCancelsOnlyThatReadersWaiter) {
+  // Two clients defer on the same unknown (object, tag); READ-DONE from one
+  // must cancel only its own waiter, leaving the other to be satisfied.
+  const Tag t{9, ProcessId::writer(0)};
+  RegisterMessage q;
+  q.type = MsgType::kQueryDataAt;
+  q.tag = t;
+  q.op_id = 21;
+  send(reader_, q);
+  q.op_id = 22;
+  send(writer_, q);
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  ASSERT_EQ(writer_probe_.received.size(), 1u);
+  EXPECT_EQ(reader_probe_.received[0].type, MsgType::kDataAtMissing);
+  EXPECT_EQ(writer_probe_.received[0].type, MsgType::kDataAtMissing);
+
+  RegisterMessage done;
+  done.type = MsgType::kReadDone;
+  done.op_id = 21;
+  send(reader_, done);
+
+  send(writer_, put(1, t, Bytes{'z'}));
+  // The writer-probe waiter survives the reader's cancel: it gets the
+  // deferred answer (plus its own put ACK); the reader gets nothing more.
+  ASSERT_EQ(reader_probe_.received.size(), 1u);
+  ASSERT_EQ(writer_probe_.received.size(), 3u);
+  EXPECT_EQ(writer_probe_.received[1].type, MsgType::kDataAtResp);
+  EXPECT_EQ(writer_probe_.received[1].op_id, 22u);
+  EXPECT_EQ(writer_probe_.received[1].value, (Bytes{'z'}));
+  EXPECT_EQ(writer_probe_.received[2].type, MsgType::kAck);
+}
+
 // MaxOnly policy (Fig. 3 verbatim).
 TEST(ServerMaxOnlyTest, DropsNonIncreasingTags) {
   sim::Simulator sim(sim::SimConfig::with_fixed_delay(1, 10));

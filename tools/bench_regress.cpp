@@ -2,15 +2,19 @@
 //
 //   bench_regress <baseline.json> <current.json> [--max-regress=0.20]
 //
-// Two schemas are understood, selected by the files' "schema" field (both
+// Three schemas are understood, selected by the files' "schema" field (both
 // files must agree):
 //
-//   bftreg-bench-codec-v1   written by `bench_codec --json=PATH`; points
-//                           keyed by (n, f, size, kernel), metrics
-//                           encode/decode_clean/decode_adv MB/s.
-//   bftreg-bench-client-v1  written by `bench_mixed_workload --json=PATH`;
-//                           points keyed by (protocol, depth), metric
-//                           ops_per_ms of the pipelined client.
+//   bftreg-bench-codec-v1      written by `bench_codec --json=PATH`; points
+//                              keyed by (n, f, size, kernel), metrics
+//                              encode/decode_clean/decode_adv MB/s.
+//   bftreg-bench-client-v1     written by `bench_mixed_workload --json=PATH`;
+//                              points keyed by (protocol, depth), metric
+//                              ops_per_ms of the pipelined client.
+//   bftreg-bench-transport-v1  written by `bench_transport --json=PATH`;
+//                              points keyed by (transport, size, fanin),
+//                              metrics msgs_per_sec and mbps of the raw
+//                              data plane.
 //
 // Every point present in BOTH files is compared metric by metric; if any
 // current metric falls below baseline * (1 - max_regress), the gate fails
@@ -75,6 +79,7 @@ bool load(const std::string& path, PointMap* out, std::string* schema) {
     return false;
   }
   const bool client_schema = *schema == "bftreg-bench-client-v1";
+  const bool transport_schema = *schema == "bftreg-bench-transport-v1";
   while ((pos = text.find('{', pos + 1)) != std::string::npos) {
     const size_t end = text.find('}', pos);
     if (end == std::string::npos) break;
@@ -90,6 +95,15 @@ bool load(const std::string& path, PointMap* out, std::string* schema) {
       std::snprintf(key, sizeof(key), "protocol=%s/depth=%d", protocol.c_str(),
                     static_cast<int>(depth));
       p["ops_per_ms"] = find_number(obj, "ops_per_ms");
+    } else if (transport_schema) {
+      const std::string transport = find_string(obj, "transport");
+      const double size = find_number(obj, "size");
+      if (transport.empty() || size < 0) continue;
+      std::snprintf(key, sizeof(key), "transport=%s/size=%d/fanin=%d",
+                    transport.c_str(), static_cast<int>(size),
+                    static_cast<int>(find_number(obj, "fanin")));
+      p["msgs_per_sec"] = find_number(obj, "msgs_per_sec");
+      p["mbps"] = find_number(obj, "mbps");
     } else {
       const std::string kernel = find_string(obj, "kernel");
       const double n = find_number(obj, "n");

@@ -74,6 +74,12 @@ const std::regex kMutexLock(R"(\bMutexLock\s+\w+\s*\(\s*([^)]+?)\s*\))");
 // `x.busy()` / `p->busy()` -- the single-operation guard of the low-level
 // protocol clients.
 const std::regex kBusyCall(R"((\.|->)\s*busy\s*\(\s*\))");
+// Global-namespace blocking syscalls (`::sendmsg(...)`, `::recv(...)`, ...)
+// and the project's framed-I/O helpers. The `::` must not follow an
+// identifier character, so member definitions/calls like
+// `ThreadCluster::write(` or `RegisterClient::read(` do not match.
+const std::regex kBlockingCall(
+    R"((?:^|[^A-Za-z0-9_])::(sendmsg|sendto|send|recvmsg|recvfrom|recv|readv|read|writev|write|connect|accept4|accept|poll|select|fsync|fdatasync)\s*\(|\b(write_all|read_exact)\s*\()");
 
 /// Reduces a lock expression to the bare member name the order edges use:
 /// `box->mu` -> `mu`, `this->sched_mu_` -> `sched_mu_`, `*ep->mu` -> `mu`.
@@ -199,44 +205,76 @@ std::vector<Violation> lint_content(const std::string& rel_path,
     }
   }
 
-  // Lock-order pass: walk brace scopes and the MutexLock acquisitions made
+  // Scope pass: walk brace scopes and the MutexLock acquisitions made
   // inside them; a held lock is released when its scope's closing brace
-  // drops the depth below its acquisition depth. Acquiring B while A is
-  // held is an inversion iff the declared order says B < A. Brace tracking
-  // is textual (string literals containing braces could confuse it), which
-  // is the same precision bar as the other rules -- and waivable the same
-  // way.
-  if (!order.empty()) {
+  // drops the depth below its acquisition depth. Two rules consume the
+  // held-set:
+  //
+  //   lock-order        acquiring B while A is held is an inversion iff the
+  //                     declared order says B < A.
+  //   blocking-in-lock  a blocking syscall or framed-I/O helper while ANY
+  //                     lock is held turns that mutex into an I/O
+  //                     serializer: every other thread touching the guarded
+  //                     state stalls for a kernel round trip (or, on a full
+  //                     socket buffer, until the peer drains).
+  //
+  // Brace tracking is textual (string literals containing braces, or an
+  // explicit lock.unlock() before the call, could confuse it), which is the
+  // same precision bar as the other rules -- and waivable the same way.
+  {
     struct Held {
       std::string name;
       int depth;
+    };
+    struct Event {
+      size_t pos;
+      bool acquire;      // MutexLock acquisition vs blocking call
+      std::string name;  // lock member name / callee
     };
     std::vector<Held> held;
     int depth = 0;
     for (size_t i = 0; i < code_lines.size(); ++i) {
       const std::string& code = code_lines[i];
-      std::vector<std::pair<size_t, std::string>> acquisitions;  // pos, lock
+      std::vector<Event> events;
       for (std::sregex_iterator it(code.begin(), code.end(), kMutexLock), end;
            it != end; ++it) {
-        acquisitions.emplace_back(static_cast<size_t>(it->position(0)),
-                                  lock_target((*it)[1].str()));
+        events.push_back(Event{static_cast<size_t>(it->position(0)), true,
+                               lock_target((*it)[1].str())});
       }
+      for (std::sregex_iterator it(code.begin(), code.end(), kBlockingCall), end;
+           it != end; ++it) {
+        const std::string callee = (*it)[1].matched
+                                       ? "::" + (*it)[1].str()
+                                       : (*it)[2].str();
+        events.push_back(
+            Event{static_cast<size_t>(it->position(0)), false, callee});
+      }
+      std::sort(events.begin(), events.end(),
+                [](const Event& a, const Event& b) { return a.pos < b.pos; });
       size_t next = 0;
       for (size_t p = 0; p <= code.size(); ++p) {
-        while (next < acquisitions.size() && acquisitions[next].first == p) {
-          const std::string& name = acquisitions[next].second;
-          const auto must_precede = order.find(name);
-          if (must_precede != order.end()) {
-            for (const Held& h : held) {
-              if (must_precede->second.count(h.name)) {
-                flag(i, "lock-order",
-                     "acquiring '" + name + "' while '" + h.name +
-                         "' is held inverts the declared order ('" + name +
-                         "' ACQUIRED_BEFORE '" + h.name + "')");
+        while (next < events.size() && events[next].pos == p) {
+          const Event& ev = events[next];
+          if (ev.acquire) {
+            const auto must_precede = order.find(ev.name);
+            if (must_precede != order.end()) {
+              for (const Held& h : held) {
+                if (must_precede->second.count(h.name)) {
+                  flag(i, "lock-order",
+                       "acquiring '" + ev.name + "' while '" + h.name +
+                           "' is held inverts the declared order ('" + ev.name +
+                           "' ACQUIRED_BEFORE '" + h.name + "')");
+                }
               }
             }
+            held.push_back(Held{ev.name, depth});
+          } else if (!held.empty()) {
+            flag(i, "blocking-in-lock",
+                 "blocking call '" + ev.name + "' while '" + held.back().name +
+                     "' is held; every thread contending on that mutex stalls "
+                     "for the I/O -- stage the data under the lock, release, "
+                     "then do the syscall");
           }
-          held.push_back(Held{name, depth});
           ++next;
         }
         if (p == code.size()) break;

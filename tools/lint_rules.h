@@ -30,6 +30,13 @@
 //                       one-operation-at-a-time guard; new code should go
 //                       through RegisterClient, whose multiplexer runs any
 //                       number of operations concurrently (client.h).
+//   blocking-in-lock    a blocking syscall (`::sendmsg`, `::recv`,
+//                       `::connect`, ...) or framed-I/O helper
+//                       (write_all/read_exact) inside a MutexLock scope --
+//                       I/O under a lock serializes every thread contending
+//                       on that mutex behind the kernel (the old transport's
+//                       write_all-under-mutex was exactly this); stage data
+//                       under the lock, release, then perform the syscall.
 //
 // A finding can be waived by putting `bftreg-lint: allow(<rule>)` in a
 // comment on the offending line or the line directly above it, with a
