@@ -1,9 +1,8 @@
 // Network accounting used by the bandwidth/storage experiments (E4, E7).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-
-#include "common/sync.h"
 
 namespace bftreg::net {
 
@@ -18,41 +17,53 @@ struct MetricsSnapshot {
 };
 
 /// Thread-safe counters; the simulator uses it single-threaded, the
-/// threaded runtime concurrently.
+/// threaded runtime concurrently. Lock-free: the hooks run on the transport
+/// hot path -- on_drop() fires inside send_payload's out_mu scope -- so a
+/// mutex here would both serialize senders and put a foreign lock under
+/// every transport mutex in the global lock-order graph. Relaxed ordering
+/// is enough: counters are independent and snapshot() needs no cross-field
+/// consistency beyond "each value was current at some point".
 class NetworkMetrics {
  public:
   void on_send(uint64_t bytes) {
-    MutexLock lock(mu_);
-    ++snap_.messages_sent;
-    snap_.bytes_sent += bytes;
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
   }
   void on_deliver() {
-    MutexLock lock(mu_);
-    ++snap_.messages_delivered;
+    messages_delivered_.fetch_add(1, std::memory_order_relaxed);
   }
   void on_auth_failure() {
-    MutexLock lock(mu_);
-    ++snap_.auth_failures;
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
   }
   void on_drop() { on_drop_n(1); }
   void on_drop_n(uint64_t count) {
-    MutexLock lock(mu_);
-    snap_.messages_dropped += count;
+    messages_dropped_.fetch_add(count, std::memory_order_relaxed);
   }
 
   MetricsSnapshot snapshot() const {
-    MutexLock lock(mu_);
-    return snap_;
+    MetricsSnapshot s;
+    s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
+    s.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+    s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+    return s;
   }
 
   void reset() {
-    MutexLock lock(mu_);
-    snap_ = MetricsSnapshot{};
+    messages_sent_.store(0, std::memory_order_relaxed);
+    bytes_sent_.store(0, std::memory_order_relaxed);
+    messages_delivered_.store(0, std::memory_order_relaxed);
+    auth_failures_.store(0, std::memory_order_relaxed);
+    messages_dropped_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  mutable Mutex mu_;
-  MetricsSnapshot snap_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_delivered_{0};
+  std::atomic<uint64_t> auth_failures_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
 };
 
 }  // namespace bftreg::net
