@@ -705,10 +705,18 @@ TcpNetwork::RecvStats TcpNetwork::recv_stats(const ProcessId& pid) const {
 void TcpNetwork::debug_shutdown_inbound(const ProcessId& pid) {
   Endpoint* ep = find(pid);
   if (ep == nullptr) return;
-  MutexLock lock(ep->conn_mu);
-  // Shut down (not close): the reader owns the fds and reaps them on the
-  // EOF this provokes.
-  for (int fd : ep->conn_fds) ::shutdown(fd, SHUT_RDWR);
+  std::vector<int> fds;
+  {
+    MutexLock lock(ep->conn_mu);
+    fds.assign(ep->conn_fds.begin(), ep->conn_fds.end());
+  }
+  // Shut down (not close) outside conn_mu: the reader owns the fds and
+  // reaps them on the EOF this provokes, and it must not have to wait for
+  // a debug hook's syscall to make progress on that lock. Racing a
+  // concurrent reap can at worst aim shutdown(2) at a closed or recycled
+  // descriptor -- acceptable for this chaos-injection hook, which the
+  // harness only fires at connections it is deliberately killing.
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
 }
 
 void TcpNetwork::debug_pause_writer(const ProcessId& pid, bool paused) {
