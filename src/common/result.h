@@ -38,27 +38,27 @@ class [[nodiscard]] Result {
   Result(Error err) : v_(std::move(err)) {}  // NOLINT: implicit by design
   Result(Errc code, std::string detail = {}) : v_(Error{code, std::move(detail)}) {}
 
-  bool ok() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
   explicit operator bool() const { return ok(); }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     assert(ok());
     return std::get<T>(v_);
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     assert(ok());
     return std::get<T>(v_);
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     assert(ok());
     return std::get<T>(std::move(v_));
   }
 
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? std::get<T>(v_) : std::move(fallback);
   }
 
-  const Error& error() const {
+  [[nodiscard]] const Error& error() const {
     assert(!ok());
     return std::get<Error>(v_);
   }

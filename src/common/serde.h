@@ -59,8 +59,9 @@ class Serializer {
 
   size_t size() const { return buf_.size(); }
 
-  /// Moves the accumulated buffer out; the serializer is reset.
-  Bytes take() { return std::move(buf_); }
+  /// Moves the accumulated buffer out; the serializer is reset. Discarding
+  /// the return value would silently drop the encoded message.
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
 
   const Bytes& buffer() const { return buf_; }
 
@@ -83,11 +84,13 @@ class Deserializer {
   explicit Deserializer(BytesView data) : data_(data.data()), size_(data.size()) {}
   Deserializer(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  bool ok() const { return ok_; }
+  /// Checking ok()/done() is the whole point of the bounds-checked decoder:
+  /// a call whose result is ignored is always a bug, hence [[nodiscard]].
+  [[nodiscard]] bool ok() const { return ok_; }
   size_t remaining() const { return size_ - pos_; }
 
   /// True iff parsing succeeded AND consumed the whole buffer.
-  bool done() const { return ok_ && pos_ == size_; }
+  [[nodiscard]] bool done() const { return ok_ && pos_ == size_; }
 
   uint8_t get_u8() { return static_cast<uint8_t>(get_uint(1)); }
   uint16_t get_u16() { return static_cast<uint16_t>(get_uint(2)); }
