@@ -318,6 +318,347 @@ TEST(LintFormat, CompilerStyleOutput) {
   EXPECT_EQ(format(v), "src/a.cpp:7: [detach] msg");
 }
 
+// ---------------------------------------------------------------------------
+// Whole-program passes (lint_program over a synthetic multi-file tree).
+// ---------------------------------------------------------------------------
+
+const Violation* find_rule(const std::vector<Violation>& vs,
+                           const std::string& rule) {
+  for (const auto& v : vs) {
+    if (v.rule == rule) return &v;
+  }
+  return nullptr;
+}
+
+TEST(LintInterproceduralBlocking, TransitiveChainFlaggedAtCallSite) {
+  // send() holds out_mu_ and calls flush(), which reaches ::sendmsg through
+  // sendmsg_frames() -- two hops the single-file rule cannot see.
+  const std::vector<SourceFile> files = {
+      {"src/socknet/io.cpp",
+       "ssize_t sendmsg_frames(int fd) {\n"
+       "  return ::sendmsg(fd, &mh, 0);\n"
+       "}\n"
+       "void flush(int fd) {\n"
+       "  sendmsg_frames(fd);\n"
+       "}\n"},
+      {"src/socknet/send.cpp",
+       "void send(int fd) {\n"
+       "  MutexLock lock(out_mu_);\n"
+       "  flush(fd);\n"
+       "}\n"},
+  };
+  const auto vs = lint_program(files);
+  const Violation* v = find_rule(vs, "blocking-in-lock");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->file, "src/socknet/send.cpp");
+  EXPECT_EQ(v->line, 3);  // the call site, not the distant syscall
+  EXPECT_NE(v->message.find("flush -> sendmsg_frames -> ::sendmsg"),
+            std::string::npos)
+      << v->message;
+}
+
+TEST(LintInterproceduralBlocking, ReleasedBeforeCallNotFlagged) {
+  // The scheduler-loop hand-off: guard.unlock() before the call, re-lock
+  // after. The chain exists but the lock is not held across it.
+  const std::vector<SourceFile> files = {
+      {"src/runtime/loop.cpp",
+       "void route(int fd) { ::write(fd, buf, n); }\n"
+       "void loop(int fd) {\n"
+       "  MutexLock lock(sched_mu_);\n"
+       "  lock.unlock();\n"
+       "  route(fd);\n"
+       "  lock.lock();\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_program(files), "blocking-in-lock"));
+}
+
+TEST(LintLockCycle, ThreeLockCycleAcrossFilesReported) {
+  // a_ < b_ and b_ < c_ are declared in two headers; code observes c_
+  // taken before a_, closing a three-lock cycle no single file shows.
+  const std::vector<SourceFile> files = {
+      {"src/net/a.h", "Mutex a_ ACQUIRED_BEFORE(b_);\nMutex b_;\n"},
+      {"src/net/b.h", "Mutex b2_ ACQUIRED_BEFORE(c_);\nMutex c_;\n"
+                      "Mutex b_ ACQUIRED_BEFORE(c_);\n"},
+      {"src/net/use.cpp",
+       "void f() {\n"
+       "  MutexLock l1(c_);\n"
+       "  MutexLock l2(a_);\n"
+       "}\n"},
+  };
+  const auto vs = lint_program(files);
+  const Violation* v = find_rule(vs, "lock-cycle");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("a_"), std::string::npos);
+  EXPECT_NE(v->message.find("b_"), std::string::npos);
+  EXPECT_NE(v->message.find("c_"), std::string::npos);
+}
+
+TEST(LintLockCycle, ConsistentOrderNotReported) {
+  const std::vector<SourceFile> files = {
+      {"src/net/a.h", "Mutex a_ ACQUIRED_BEFORE(b_);\nMutex b_;\n"},
+      {"src/net/use.cpp",
+       "void f() {\n"
+       "  MutexLock l1(a_);\n"
+       "  MutexLock l2(b_);\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_program(files), "lock-cycle"));
+}
+
+TEST(LintLockOrderUndeclared, ObservedNestingWithoutDeclarationFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/net/use.cpp",
+       "void f() {\n"
+       "  MutexLock l1(a_);\n"
+       "  MutexLock l2(b_);\n"
+       "}\n"},
+  };
+  const auto vs = lint_program(files);
+  const Violation* v = find_rule(vs, "lock-order-undeclared");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->line, 3);
+  EXPECT_NE(v->message.find("'a_' then 'b_'"), std::string::npos) << v->message;
+}
+
+TEST(LintLockOrderUndeclared, DeclaredEdgeCoversObservation) {
+  // The declared edge (even transitively, a_ < b_ < c_) covers the
+  // observed a_-then-c_ nesting: nothing to report.
+  const std::vector<SourceFile> files = {
+      {"src/net/a.h",
+       "Mutex a_ ACQUIRED_BEFORE(b_);\nMutex b_ ACQUIRED_BEFORE(c_);\n"
+       "Mutex c_;\n"},
+      {"src/net/use.cpp",
+       "void f() {\n"
+       "  MutexLock l1(a_);\n"
+       "  MutexLock l2(c_);\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_program(files), "lock-order-undeclared"));
+}
+
+TEST(LintLockOrderUndeclared, InterproceduralAcquisitionFlagged) {
+  // f holds big_mu_ and calls bump(), which takes counter_mu_ -- an
+  // acquisition edge that exists only through the call graph.
+  const std::vector<SourceFile> files = {
+      {"src/net/metrics.cpp",
+       "void bump() {\n"
+       "  MutexLock lock(counter_mu_);\n"
+       "  ++n_;\n"
+       "}\n"},
+      {"src/net/send.cpp",
+       "void f() {\n"
+       "  MutexLock lock(big_mu_);\n"
+       "  bump();\n"
+       "}\n"},
+  };
+  const auto vs = lint_program(files);
+  const Violation* v = find_rule(vs, "lock-order-undeclared");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->file, "src/net/send.cpp");
+  EXPECT_NE(v->message.find("bump"), std::string::npos);
+}
+
+TEST(LintSerdeSymmetry, ReorderedDeserializeFieldCaught) {
+  // The acceptance-criteria fixture: deserialize() reads the two u32
+  // fields in the reverse of the order serialize() wrote them.
+  const std::vector<SourceFile> files = {
+      {"src/registers/msg.cpp",
+       "Bytes Msg::serialize() const {\n"
+       "  Serializer s;\n"
+       "  s.put_u32(object);\n"
+       "  s.put_u64(seq);\n"
+       "  s.put_bytes(value);\n"
+       "  return s.take();\n"
+       "}\n"
+       "std::optional<Msg> Msg::deserialize(const Bytes& in) {\n"
+       "  Deserializer d(in);\n"
+       "  Msg m;\n"
+       "  m.seq = d.get_u64();\n"
+       "  m.object = d.get_u32();\n"
+       "  m.value = d.get_bytes();\n"
+       "  return m;\n"
+       "}\n"},
+  };
+  const auto vs = lint_program(files);
+  const Violation* v = find_rule(vs, "serde-symmetry");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->line, 11);  // first divergent read
+  EXPECT_NE(v->message.find("put_u32"), std::string::npos) << v->message;
+  EXPECT_NE(v->message.find("get_u64"), std::string::npos) << v->message;
+}
+
+TEST(LintSerdeSymmetry, MissingTrailingReadCaught) {
+  // Asymmetry in the other direction: the reader stops one field short.
+  const std::vector<SourceFile> files = {
+      {"src/registers/blob.cpp",
+       "void encode_blob(Serializer& s, const Blob& b) {\n"
+       "  s.put_u64(b.seq);\n"
+       "  s.put_tag(b.tag);\n"
+       "  s.put_bytes(b.data);\n"
+       "}\n"
+       "Blob decode_blob(Deserializer& d) {\n"
+       "  Blob b;\n"
+       "  b.seq = d.get_u64();\n"
+       "  b.tag = d.get_tag();\n"
+       "  return b;\n"
+       "}\n"},
+  };
+  const auto vs = lint_program(files);
+  const Violation* v = find_rule(vs, "serde-symmetry");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("put_bytes"), std::string::npos) << v->message;
+  EXPECT_NE(v->message.find("no counterpart"), std::string::npos) << v->message;
+}
+
+TEST(LintSerdeSymmetry, SymmetricPairAndWidthClassesClean) {
+  // bool is u8-width on the wire; bytes/bytes_view/string are one
+  // length-prefixed class -- none of these count as drift.
+  const std::vector<SourceFile> files = {
+      {"src/registers/msg.cpp",
+       "Bytes Msg::encode() const {\n"
+       "  Serializer s;\n"
+       "  s.put_bool(flag);\n"
+       "  s.put_bytes(value);\n"
+       "  s.put_string(name);\n"
+       "  return s.take();\n"
+       "}\n"
+       "std::optional<Msg> Msg::parse(const Bytes& in) {\n"
+       "  Deserializer d(in);\n"
+       "  Msg m;\n"
+       "  m.flag = d.get_u8() != 0;\n"
+       "  m.value = d.get_bytes_view();\n"
+       "  m.name = d.get_string();\n"
+       "  return m;\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_program(files), "serde-symmetry"));
+}
+
+TEST(LintUncheckedResult, DiscardedResultReturnFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/registers/config.cpp",
+       "Result<Config> build_bounded(int n) {\n"
+       "  return Config{n};\n"
+       "}\n"},
+      {"src/harness/use.cpp",
+       "void setup(Builder& b) {\n"
+       "  b.build_bounded(5);\n"
+       "}\n"},
+  };
+  const auto vs = lint_program(files);
+  const Violation* v = find_rule(vs, "unchecked-result");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->file, "src/harness/use.cpp");
+  EXPECT_EQ(v->line, 2);
+}
+
+TEST(LintUncheckedResult, ConsumedResultsNotFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/registers/config.cpp",
+       "Result<Config> build_bounded(int n) {\n"
+       "  return Config{n};\n"
+       "}\n"},
+      {"src/harness/use.cpp",
+       "Result<Config> forward(Builder& b) {\n"
+       "  auto r = b.build_bounded(1);\n"
+       "  if (b.build_bounded(2).ok()) use();\n"
+       "  (void)b.build_bounded(3);\n"
+       "  return b.build_bounded(4);\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_program(files), "unchecked-result"));
+}
+
+TEST(LintUncheckedResult, PlainReturnTypesNotFlagged) {
+  // WriteResult is a plain struct; only Result<T> carries an error that
+  // must be checked.
+  const std::vector<SourceFile> files = {
+      {"src/registers/w.cpp",
+       "WriteResult write_now(int n) {\n"
+       "  return WriteResult{n};\n"
+       "}\n"},
+      {"src/harness/use.cpp",
+       "void go(Client& c) {\n"
+       "  c.write_now(5);\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_program(files), "unchecked-result"));
+}
+
+TEST(LintProgram, WholeProgramFindingsAreWaivable) {
+  const std::vector<SourceFile> files = {
+      {"src/net/use.cpp",
+       "void f() {\n"
+       "  MutexLock l1(a_);\n"
+       "  // bftreg-lint: allow(lock-order-undeclared) teardown-only nesting\n"
+       "  MutexLock l2(b_);\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(lint_program(files), "lock-order-undeclared"));
+}
+
+TEST(LintSarif, GoldenDocument) {
+  const std::vector<Violation> vs = {
+      {"src/socknet/tcp_network.cpp", 42, "blocking-in-lock",
+       "blocking call '::sendmsg' while 'out_mu' is held"},
+  };
+  const std::string doc = to_sarif(vs);
+  const std::string expected =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\n"
+      "      \"name\": \"bftreg_lint\",\n"
+      "      \"informationUri\": \"docs/ANALYSIS.md\",\n"
+      "      \"rules\": [\n"
+      "        {\"id\": \"raw-thread\", \"shortDescription\": {\"text\": "
+      "\"std::thread outside the runtime/transport/harness layers\"}},\n"
+      "        {\"id\": \"detach\", \"shortDescription\": {\"text\": "
+      "\"detached thread outlives its transport\"}},\n"
+      "        {\"id\": \"raw-random\", \"shortDescription\": {\"text\": "
+      "\"unseeded randomness breaks replayability\"}},\n"
+      "        {\"id\": \"unguarded-mutex\", \"shortDescription\": {\"text\": "
+      "\"mutex member without a GUARDED_BY companion\"}},\n"
+      "        {\"id\": \"resilience-literal\", \"shortDescription\": "
+      "{\"text\": \"resilience bound arithmetic outside config.h\"}},\n"
+      "        {\"id\": \"lock-order\", \"shortDescription\": {\"text\": "
+      "\"nested acquisition inverts a declared lock order\"}},\n"
+      "        {\"id\": \"legacy-single-op\", \"shortDescription\": {\"text\": "
+      "\"busy() call outside the low-level register clients\"}},\n"
+      "        {\"id\": \"blocking-in-lock\", \"shortDescription\": {\"text\": "
+      "\"call chain from a MutexLock scope to a blocking syscall\"}},\n"
+      "        {\"id\": \"lock-cycle\", \"shortDescription\": {\"text\": "
+      "\"cycle in the global declared+observed lock-order graph\"}},\n"
+      "        {\"id\": \"lock-order-undeclared\", \"shortDescription\": "
+      "{\"text\": \"observed acquisition order with no declared edge\"}},\n"
+      "        {\"id\": \"serde-symmetry\", \"shortDescription\": {\"text\": "
+      "\"serialize/deserialize wire formats drifted apart\"}},\n"
+      "        {\"id\": \"unchecked-result\", \"shortDescription\": {\"text\": "
+      "\"discarded Result<T> return value\"}}\n"
+      "      ]\n"
+      "    }},\n"
+      "    \"results\": [\n"
+      "      {\"ruleId\": \"blocking-in-lock\", \"ruleIndex\": 7, \"level\": "
+      "\"error\", \"message\": {\"text\": \"blocking call '::sendmsg' while "
+      "'out_mu' is held\"}, \"locations\": [{\"physicalLocation\": "
+      "{\"artifactLocation\": {\"uri\": \"src/socknet/tcp_network.cpp\"}, "
+      "\"region\": {\"startLine\": 42}}}]}\n"
+      "    ]\n"
+      "  }]\n"
+      "}\n";
+  EXPECT_EQ(doc, expected);
+}
+
+TEST(LintSarif, EmptyRunAndEscaping) {
+  EXPECT_NE(to_sarif({}).find("\"results\": []"), std::string::npos);
+  const std::vector<Violation> vs = {
+      {"src/a.cpp", 1, "detach", "quote \" backslash \\ tab\t"}};
+  const std::string doc = to_sarif(vs);
+  EXPECT_NE(doc.find("quote \\\" backslash \\\\ tab\\t"), std::string::npos);
+}
+
 // The real tree must be clean -- this is the same check the ctest
 // registration of the bftreg_lint binary performs, kept here too so a
 // plain `ctest -R lint` covers both the rules and the tree.

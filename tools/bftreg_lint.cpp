@@ -1,22 +1,48 @@
-// bftreg_lint: project-specific static checks over src/.
+// bftreg_lint: whole-program protocol analysis over src/.
 //
-// Usage: bftreg_lint [repo_root]   (default: current directory)
+// Usage: bftreg_lint [repo_root] [--sarif <out.sarif>]
+//        (repo_root defaults to the current directory)
 //
-// Exit code 0 when clean, 1 on violations, 2 on I/O errors. Registered as
-// the `bftreg_lint` ctest test so `ctest` fails when a banned pattern lands;
-// the rule list and the waiver syntax are documented in tools/lint_rules.h
-// and docs/ANALYSIS.md.
+// Exit code 0 when clean, 1 on violations, 2 on I/O or usage errors.
+// Registered as the `bftreg_lint` ctest test so `ctest` fails when a banned
+// pattern lands; --sarif additionally writes a SARIF 2.1.0 document (always,
+// even when clean) for CI code-scanning upload. The rule list and the waiver
+// syntax are documented in tools/lint_rules.h and docs/ANALYSIS.md.
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <string>
 
 #include "tools/lint_rules.h"
 
 int main(int argc, char** argv) {
-  const std::string root = argc > 1 ? argv[1] : ".";
+  std::string root = ".";
+  std::string sarif_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bftreg_lint: --sarif needs an output path\n");
+        return 2;
+      }
+      sarif_path = argv[++i];
+    } else {
+      root = arg;
+    }
+  }
   try {
     const auto violations = bftreg::lint::lint_tree(root);
     for (const auto& v : violations) {
       std::fprintf(stderr, "%s\n", bftreg::lint::format(v).c_str());
+    }
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "bftreg_lint: cannot write %s\n",
+                     sarif_path.c_str());
+        return 2;
+      }
+      out << bftreg::lint::to_sarif(violations);
     }
     if (!violations.empty()) {
       std::fprintf(stderr, "bftreg_lint: %zu violation(s)\n", violations.size());
