@@ -4,6 +4,10 @@
 //   bench_transport                 human-readable table over the full grid
 //   bench_transport --json=PATH     machine-readable snapshot
 //                   [--quick]       shorter per-point message budget
+//                   [--mailbox]     only the shard-count sweep (the CI
+//                                   mailbox-bench quick gate)
+//                   [--filter=STR]  only points whose "net/size/fanin[/sN]"
+//                                   key contains STR (dev iteration)
 //
 // Workload: `fanin - 1` source processes each keep a window of messages of
 // `size` bytes in flight toward one sink; the sink acknowledges every
@@ -13,11 +17,17 @@
 // converging on one server, full-duplex sockets, handlers firing on the
 // destination's mailbox thread.
 //
+// The shard sweep re-runs the small-payload points with the sink split
+// into 1/2/4/8 delivery shards (IProcess::delivery_shards) to expose how
+// the MPSC-ring control plane scales when a hot process fans its handlers
+// out; rows carry a "shards" field so bench_regress keys them apart.
+//
 // The JSON snapshot (schema bftreg-bench-transport-v1, points keyed by
-// (transport, size, fanin)) is diffed against the checked-in
+// (transport, size, fanin[, shards])) is diffed against the checked-in
 // BENCH_transport.json by tools/bench_regress in CI; a >20% drop in
 // msgs_per_sec or mbps on any point fails the gate. docs/PERF.md records
-// the before/after wallclock table for the writev-coalescing rewrite.
+// the before/after tables for the writev-coalescing and lock-free-mailbox
+// rewrites.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -36,15 +46,24 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Sink: counts arrivals and returns an 8-byte credit per message.
+/// Sink: counts arrivals and returns an 8-byte credit per message. With
+/// `shards > 1` it opts into parallel delivery: envelopes round-robin
+/// across shards by send sequence, handlers for different shards run
+/// concurrently, so the counter is relaxed-atomic and the credit reply
+/// rides the thread-safe send path.
 class EchoSink final : public net::IProcess {
  public:
-  EchoSink(ProcessId self, net::Transport* transport)
-      : self_(self), transport_(transport) {}
+  EchoSink(ProcessId self, net::Transport* transport, uint32_t shards)
+      : self_(self), transport_(transport), shards_(shards) {}
 
   void on_message(const net::Envelope& env) override {
     received_.fetch_add(1, std::memory_order_relaxed);
     transport_->send_payload(self_, env.from, credit_);
+  }
+
+  uint32_t delivery_shards() const override { return shards_; }
+  uint32_t shard_of(const net::Envelope& env) const override {
+    return static_cast<uint32_t>(env.seq % shards_);
   }
 
   uint64_t received() const { return received_.load(std::memory_order_relaxed); }
@@ -52,6 +71,7 @@ class EchoSink final : public net::IProcess {
  private:
   const ProcessId self_;
   net::Transport* const transport_;
+  const uint32_t shards_;
   // One refcounted credit shared by every reply (zero-copy send path).
   const Payload credit_{Bytes(8, 0xAC)};
   std::atomic<uint64_t> received_{0};
@@ -113,13 +133,13 @@ struct RunResult {
 /// or ThreadNetwork; both expose the same add_process/start/stop surface.
 template <typename NetT, typename... Args>
 RunResult run_point(size_t fanin, size_t size, uint64_t per_source,
-                    Args&&... args) {
+                    uint32_t sink_shards, Args&&... args) {
   NetT net(std::forward<Args>(args)...);
   const size_t sources = fanin - 1;
   const ProcessId sink_pid = ProcessId::server(0);
   constexpr uint64_t kWindow = 32;
 
-  EchoSink sink(sink_pid, &net);
+  EchoSink sink(sink_pid, &net, sink_shards);
   net.add_process(sink_pid, &sink);
 
   Bytes payload(size);
@@ -170,6 +190,9 @@ struct GridPoint {
   size_t fanin;
   size_t size;
   uint64_t per_source;  // full-mode budget; quick mode divides by 4
+  /// 0 = base grid (no "shards" JSON field, sink uses 1 shard);
+  /// >0 = shard-sweep row.
+  uint32_t shards{0};
 };
 
 /// (fanin, size) grid: the payload-size sweep at the paper's smallest BSR
@@ -180,19 +203,30 @@ constexpr GridPoint kGrid[] = {
     {21, 512, 4000},
 };
 
+/// Shard-count sweep at the small-payload points where the control plane
+/// (not memcpy) is the cost: how does the sink scale as its delivery fans
+/// out over 1/2/4/8 MPSC rings?
+constexpr GridPoint kShardSweep[] = {
+    {5, 64, 20000, 1},  {5, 64, 20000, 2},  {5, 64, 20000, 4},
+    {5, 64, 20000, 8},  {5, 512, 20000, 1}, {5, 512, 20000, 2},
+    {5, 512, 20000, 4}, {5, 512, 20000, 8},
+};
+
 RunResult run_transport(const std::string& transport, const GridPoint& p,
                         uint64_t per_source) {
+  const uint32_t sink_shards = p.shards == 0 ? 1 : p.shards;
   if (transport == "tcp") {
     return run_point<socknet::TcpNetwork>(p.fanin, p.size, per_source,
-                                          socknet::TcpConfig{});
+                                          sink_shards, socknet::TcpConfig{});
   }
   runtime::RuntimeConfig cfg;
   cfg.seed = 1;
   return run_point<runtime::ThreadNetwork>(p.fanin, p.size, per_source,
-                                           std::move(cfg));
+                                           sink_shards, std::move(cfg));
 }
 
-int run_grid(const std::string& json_path, bool quick) {
+int run_grid(const std::string& json_path, bool quick, bool mailbox_only,
+             const std::string& filter) {
   FILE* out = nullptr;
   if (!json_path.empty()) {
     out = std::fopen(json_path.c_str(), "w");
@@ -205,24 +239,41 @@ int run_grid(const std::string& json_path, bool quick) {
     std::fprintf(out, "  \"quick\": %s,\n  \"results\": [", quick ? "true" : "false");
   }
 
-  std::fprintf(stderr, "%-7s %8s %6s %14s %10s\n", "net", "size", "fanin",
-               "msgs/s", "MB/s");
+  std::fprintf(stderr, "%-7s %8s %6s %7s %14s %10s\n", "net", "size", "fanin",
+               "shards", "msgs/s", "MB/s");
   bool first = true;
   int failures = 0;
   for (const char* transport : {"tcp", "thread"}) {
-    for (const auto& p : kGrid) {
+    std::vector<GridPoint> points;
+    if (!mailbox_only) {
+      points.insert(points.end(), std::begin(kGrid), std::end(kGrid));
+    }
+    points.insert(points.end(), std::begin(kShardSweep), std::end(kShardSweep));
+    for (const auto& p : points) {
+      char key[96];
+      if (p.shards == 0) {
+        std::snprintf(key, sizeof(key), "%s/%zu/%zu", transport, p.size, p.fanin);
+      } else {
+        std::snprintf(key, sizeof(key), "%s/%zu/%zu/s%u", transport, p.size,
+                      p.fanin, p.shards);
+      }
+      if (!filter.empty() && std::strstr(key, filter.c_str()) == nullptr) {
+        continue;
+      }
       const uint64_t per_source =
           quick ? std::max<uint64_t>(p.per_source / 4, 16) : p.per_source;
       const RunResult r = run_transport(transport, p, per_source);
       if (!r.completed) ++failures;
-      std::fprintf(stderr, "%-7s %8zu %6zu %14.0f %10.1f%s\n", transport, p.size,
-                   p.fanin, r.msgs_per_sec, r.mbps,
-                   r.completed ? "" : "  [TIMEOUT]");
+      std::fprintf(stderr, "%-7s %8zu %6zu %7u %14.0f %10.1f%s\n", transport,
+                   p.size, p.fanin, p.shards == 0 ? 1 : p.shards,
+                   r.msgs_per_sec, r.mbps, r.completed ? "" : "  [TIMEOUT]");
       if (out) {
         std::fprintf(out,
                      "%s\n    {\"transport\": \"%s\", \"size\": %zu, "
-                     "\"fanin\": %zu, \"msgs_per_sec\": %.0f, \"mbps\": %.1f}",
-                     first ? "" : ",", transport, p.size, p.fanin,
+                     "\"fanin\": %zu, ",
+                     first ? "" : ",", transport, p.size, p.fanin);
+        if (p.shards != 0) std::fprintf(out, "\"shards\": %u, ", p.shards);
+        std::fprintf(out, "\"msgs_per_sec\": %.0f, \"mbps\": %.1f}",
                      r.msgs_per_sec, r.mbps);
         first = false;
       }
@@ -241,16 +292,24 @@ int run_grid(const std::string& json_path, bool quick) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string filter;
   bool quick = false;
+  bool mailbox_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      filter = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--mailbox") == 0) {
+      mailbox_only = true;
     } else {
-      std::fprintf(stderr, "usage: bench_transport [--json=PATH] [--quick]\n");
+      std::fprintf(stderr,
+                   "usage: bench_transport [--json=PATH] [--quick] "
+                   "[--mailbox] [--filter=STR]\n");
       return 2;
     }
   }
-  return bftreg::bench::run_grid(json_path, quick);
+  return bftreg::bench::run_grid(json_path, quick, mailbox_only, filter);
 }

@@ -1,0 +1,157 @@
+// Bounded lock-free multi-producer single-consumer ring.
+//
+// The control-plane mailbox behind the threaded transports: producers are
+// sender/reader threads publishing mail items, the consumer is the one
+// handler thread that owns a delivery shard. Layout and protocol follow
+// Vyukov's bounded MPMC queue, specialized to a single consumer:
+//
+//   * every slot carries its own sequence counter, cache-line padded so a
+//     producer completing slot i never invalidates the line a different
+//     producer is claiming or the consumer is draining;
+//   * producers claim a position with a CAS on `head_` and *publish* the
+//     slot by storing `pos + 1` into its sequence with release order -- the
+//     consumer's acquire load of the same counter is the only
+//     synchronization edge a delivery needs;
+//   * the single consumer owns `tail_` outright (plain member, no atomics),
+//     consumes a slot, and recycles it by storing `tail + capacity` with
+//     release order so the producer that wraps around acquires the
+//     consumer's read as completed.
+//
+// Memory-order discipline (checked by the `atomic-in-ring` lint rule):
+// every atomic access names its order explicitly. The ring itself never
+// needs seq_cst; the idle/wake handshake that does lives in
+// runtime/mailbox.h where the reasoning is written down.
+//
+// A full ring fails `try_push` rather than blocking or overwriting --
+// callers that carry reliable-channel semantics (the transports) spill to
+// an overflow queue instead of dropping.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace bftreg::common {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` must be a power of two (asserted); it bounds the number of
+  /// in-flight items before producers start failing try_push.
+  explicit MpscRing(size_t capacity)
+      : mask_(capacity - 1), slots_(new Slot[capacity]) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+           "MpscRing capacity must be a power of two");
+    for (size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(static_cast<uint64_t>(i), std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side; any thread. Returns false when the ring is full --
+  /// the item is left untouched so the caller can divert it elsewhere.
+  bool try_push(T& item) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        // Slot is free at exactly our position; claim it. Failure just
+        // reloads `pos` with the value the winner advanced to.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(item);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        // The consumer has not recycled this slot yet: a full lap is in
+        // flight ahead of us.
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_push(T&& item) { return try_push(item); }
+
+  /// Consumer side; single thread only. Appends up to `max` published
+  /// items to `out` in ring order and recycles their slots. Returns the
+  /// number drained (0 when the ring is empty).
+  size_t pop_batch(std::vector<T>& out, size_t max) {
+    size_t drained = 0;
+    while (drained < max) {
+      Slot& slot = slots_[tail_ & mask_];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (static_cast<int64_t>(seq) - static_cast<int64_t>(tail_ + 1) < 0) {
+        break;  // next slot not published yet
+      }
+      out.push_back(std::move(slot.value));
+      slot.value = T{};  // drop payload refs now, not a full lap later
+      slot.seq.store(tail_ + mask_ + 1, std::memory_order_release);
+      ++tail_;
+      ++drained;
+    }
+    return drained;
+  }
+
+  /// Consumer side; single thread only. Like pop_batch but invokes
+  /// `fn(item)` on each published item in place instead of moving it into
+  /// a vector first -- one 100+-byte move less per delivery on the mailbox
+  /// hot path. The slot is recycled after fn returns; fn may push into
+  /// this or any other ring (including from nested handlers).
+  template <typename Fn>
+  size_t consume_batch(Fn&& fn, size_t max) {
+    size_t drained = 0;
+    while (drained < max) {
+      Slot& slot = slots_[tail_ & mask_];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (static_cast<int64_t>(seq) - static_cast<int64_t>(tail_ + 1) < 0) {
+        break;
+      }
+      fn(slot.value);
+      slot.value = T{};  // drop payload refs now, not a full lap later
+      slot.seq.store(tail_ + mask_ + 1, std::memory_order_release);
+      ++tail_;
+      ++drained;
+    }
+    return drained;
+  }
+
+  /// Consumer side; single thread only. True when the next slot in ring
+  /// order has no published item. Pair with a seq_cst fence when used in a
+  /// sleep/wake handshake (see runtime/mailbox.h).
+  bool empty() const {
+    const uint64_t seq =
+        slots_[tail_ & mask_].seq.load(std::memory_order_acquire);
+    return static_cast<int64_t>(seq) - static_cast<int64_t>(tail_ + 1) < 0;
+  }
+
+ private:
+  // One cache line per slot: the seq counter ping-pongs between the
+  // publishing producer and the consumer; padding keeps neighbouring slots
+  // (and the head/tail counters below) out of that traffic.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  alignas(64) std::atomic<uint64_t> head_{0};  // producers: next claim
+  alignas(64) uint64_t tail_{0};               // consumer-owned
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace bftreg::common

@@ -1,24 +1,61 @@
 #include "crypto/auth.h"
 
-#include "common/serde.h"
+#include <cstring>
 
 namespace bftreg::crypto {
+
+namespace {
+
+/// put_process_id's wire layout (role u8, index u32 LE) packed on the
+/// stack; key derivation must stay byte-identical to the serde encoding so
+/// MACs agree across every code path that derives a channel key.
+void pack_pair(const ProcessId& from, const ProcessId& to, uint8_t out[10]) {
+  out[0] = static_cast<uint8_t>(from.role);
+  out[1] = static_cast<uint8_t>(from.index);
+  out[2] = static_cast<uint8_t>(from.index >> 8);
+  out[3] = static_cast<uint8_t>(from.index >> 16);
+  out[4] = static_cast<uint8_t>(from.index >> 24);
+  out[5] = static_cast<uint8_t>(to.role);
+  out[6] = static_cast<uint8_t>(to.index);
+  out[7] = static_cast<uint8_t>(to.index >> 8);
+  out[8] = static_cast<uint8_t>(to.index >> 16);
+  out[9] = static_cast<uint8_t>(to.index >> 24);
+}
+
+}  // namespace
 
 SipHashKey KeyRegistry::channel_key(const ProcessId& from, const ProcessId& to) const {
   // Domain-separated derivation: key parts are SipHash of the endpoint ids
   // under master-derived keys. The adversary never sees `master_`.
-  Serializer s;
-  s.put_process_id(from);
-  s.put_process_id(to);
-  const Bytes ids = s.take();
+  uint8_t ids[10];
+  pack_pair(from, to, ids);
+  const BytesView view(ids, sizeof(ids));
   const SipHashKey d0{master_, 0x6b65792d64657230ULL};  // "key-der0"
   const SipHashKey d1{master_, 0x6b65792d64657231ULL};  // "key-der1"
-  return SipHashKey{siphash24(d0, ids), siphash24(d1, ids)};
+  return SipHashKey{siphash24(d0, view), siphash24(d1, view)};
+}
+
+void Authenticator::precompute(const std::vector<ProcessId>& ids) {
+  cache_.reserve(ids.size() * ids.size());
+  for (const ProcessId& from : ids) {
+    for (const ProcessId& to : ids) {
+      cache_.emplace(PairKey{from, to}, registry_.channel_key(from, to));
+    }
+  }
+}
+
+SipHashKey Authenticator::key_for(const ProcessId& from,
+                                  const ProcessId& to) const {
+  if (!cache_.empty()) {
+    auto it = cache_.find(PairKey{from, to});
+    if (it != cache_.end()) return it->second;
+  }
+  return registry_.channel_key(from, to);
 }
 
 MacTag Authenticator::seal(const ProcessId& from, const ProcessId& to,
                            BytesView payload) const {
-  return siphash24(registry_.channel_key(from, to), payload);
+  return siphash24(key_for(from, to), payload);
 }
 
 bool Authenticator::verify(const ProcessId& from, const ProcessId& to,

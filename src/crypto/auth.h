@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "crypto/siphash.h"
@@ -35,6 +37,15 @@ class Authenticator {
  public:
   explicit Authenticator(KeyRegistry registry) : registry_(registry) {}
 
+  /// Derives and caches the channel key for every ordered pair in `ids`.
+  /// seal/verify on a cached pair then cost one SipHash pass over the
+  /// payload instead of three (two derivation passes plus the MAC) -- on
+  /// the transports' delivery hot path that is most of the per-message
+  /// crypto. Uncached pairs still derive on demand, so this is purely an
+  /// optimization. NOT thread-safe: call before the authenticator is
+  /// shared across threads (the transports call it at start()).
+  void precompute(const std::vector<ProcessId>& ids);
+
   /// MAC over (from, to, payload) under the from->to channel key.
   MacTag seal(const ProcessId& from, const ProcessId& to, BytesView payload) const;
 
@@ -43,7 +54,24 @@ class Authenticator {
               MacTag mac) const;
 
  private:
+  struct PairKey {
+    ProcessId from;
+    ProcessId to;
+    friend bool operator==(const PairKey&, const PairKey&) = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& p) const noexcept {
+      const size_t h = std::hash<ProcessId>{}(p.from);
+      return std::hash<ProcessId>{}(p.to) ^
+             (h + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+
+  SipHashKey key_for(const ProcessId& from, const ProcessId& to) const;
+
   KeyRegistry registry_;
+  /// Immutable after precompute(); concurrent readers share it lock-free.
+  std::unordered_map<PairKey, SipHashKey, PairKeyHash> cache_;
 };
 
 }  // namespace bftreg::crypto

@@ -2,11 +2,16 @@
 // threads.
 //
 // Same protocol selection and Byzantine placement as SimCluster, but the
-// processes run on runtime::ThreadNetwork (one mailbox thread each, real
-// delays, wall-clock time) and operations are blocking calls safe to issue
-// from concurrent caller threads -- one caller per client, per the model's
-// one-operation-per-client rule. Used by bench_wallclock and available to
-// applications that want a ready-made deployment harness.
+// processes run on runtime::ThreadNetwork (one mailbox thread per delivery
+// shard, real delays, wall-clock time) and operations are blocking calls
+// safe to issue from concurrent caller threads -- one caller per client,
+// per the model's one-operation-per-client rule. Used by bench_wallclock
+// and available to applications that want a ready-made deployment harness.
+//
+// Sharded servers: set options.config.server_shards > 1 and each
+// RegisterServer splits its object table across that many mailbox threads
+// (hash(object)-disjoint, see registers/server.h); clients and protocol
+// semantics are unaffected.
 #pragma once
 
 #include <atomic>

@@ -14,6 +14,10 @@ struct MetricsSnapshot {
   /// Frames shed by a bounded transport queue (or dropped after a failed
   /// reconnect) instead of blocking the sender. Client deadlines retransmit.
   uint64_t messages_dropped{0};
+  /// Deliveries that found their shard's MPSC ring full and spilled to the
+  /// mutex-guarded overflow deque (runtime/mailbox.h). Nothing is lost --
+  /// this counts how often the control plane fell off its lock-free path.
+  uint64_t mailbox_overflows{0};
 };
 
 /// Thread-safe counters; the simulator uses it single-threaded, the
@@ -39,6 +43,9 @@ class NetworkMetrics {
   void on_drop_n(uint64_t count) {
     messages_dropped_.fetch_add(count, std::memory_order_relaxed);
   }
+  void on_mailbox_overflow() {
+    mailbox_overflows_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   MetricsSnapshot snapshot() const {
     MetricsSnapshot s;
@@ -47,6 +54,7 @@ class NetworkMetrics {
     s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
     s.auth_failures = auth_failures_.load(std::memory_order_relaxed);
     s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+    s.mailbox_overflows = mailbox_overflows_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -56,6 +64,7 @@ class NetworkMetrics {
     messages_delivered_.store(0, std::memory_order_relaxed);
     auth_failures_.store(0, std::memory_order_relaxed);
     messages_dropped_.store(0, std::memory_order_relaxed);
+    mailbox_overflows_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -64,6 +73,7 @@ class NetworkMetrics {
   std::atomic<uint64_t> messages_delivered_{0};
   std::atomic<uint64_t> auth_failures_{0};
   std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> mailbox_overflows_{0};
 };
 
 }  // namespace bftreg::net

@@ -7,6 +7,7 @@
 // decision of the repo (DESIGN.md §6.1).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "common/types.h"
@@ -16,18 +17,41 @@
 namespace bftreg::net {
 
 /// A participant in the protocol. Handlers are always invoked in the
-/// process's execution context (simulator event or mailbox thread) -- never
-/// concurrently for the same process.
+/// process's execution context. By default that context is singular
+/// (simulator event or one mailbox thread), so handlers never run
+/// concurrently for the same process. A process may opt into parallel
+/// delivery by overriding delivery_shards()/shard_of(): the threaded
+/// transports then run one mailbox per shard, and the serialization
+/// guarantee narrows to *per shard* -- two envelopes mapping to the same
+/// shard are still handled one at a time and in push order, but handlers
+/// for different shards of the same process run concurrently. The
+/// discrete-event simulator ignores sharding (it is single-threaded, so
+/// the default guarantee holds there regardless).
 class IProcess {
  public:
   virtual ~IProcess() = default;
 
-  /// Called once before any message is delivered.
+  /// Called once before any message is delivered. Runs on shard 0.
   virtual void on_start() {}
 
   /// An authenticated message has arrived. `env.payload` is adversarial
   /// input if the sender is Byzantine; implementations must parse defensively.
   virtual void on_message(const Envelope& env) = 0;
+
+  /// Number of independent delivery shards this process wants. Read once
+  /// by the transport at registration; must be >= 1 and constant for the
+  /// process's lifetime.
+  virtual uint32_t delivery_shards() const { return 1; }
+
+  /// Maps an inbound envelope to a shard in [0, delivery_shards()).
+  /// Called on the *sender's* (or socket reader's) thread, possibly
+  /// concurrently with handlers and with itself -- implementations must be
+  /// pure functions of the envelope (typically a hash of a routing field
+  /// peeked from the payload) and touch no mutable process state.
+  virtual uint32_t shard_of(const Envelope& env) const {
+    (void)env;
+    return 0;
+  }
 };
 
 class Transport {

@@ -59,6 +59,14 @@ struct SystemConfig {
   /// fix failing the Theorem 3 schedule at max_history = 1.
   size_t max_history{0};
 
+  /// Object-table shards per server: each server asks its transport for
+  /// this many delivery contexts and splits its per-object state across
+  /// them by hash(object) (see registers/server.h). Purely an execution
+  /// knob -- protocol semantics are per-object and objects never span
+  /// shards. 1 (the default) reproduces the single-mailbox behavior;
+  /// transports without sharding support (the simulator) ignore it.
+  size_t server_shards{1};
+
   /// Operations wait for exactly n - f server responses (Lemma 6 shows
   /// waiting for more forfeits liveness).
   size_t quorum() const { return n - f; }
@@ -126,6 +134,10 @@ class SystemConfig::Builder {
     return *this;
   }
   Builder& max_history(size_t value) { config_.max_history = value; return *this; }
+  Builder& server_shards(size_t value) {
+    config_.server_shards = value;
+    return *this;
+  }
 
   /// Protocol-independent sanity only (clients of build() must check the
   /// protocol bound themselves; prefer the build_for_* terminals).
@@ -148,6 +160,9 @@ class SystemConfig::Builder {
     if (config_.tag_rank_override > config_.quorum()) {
       return Error{Errc::kInvalidArgument,
                    "tag rank override exceeds the quorum n-f"};
+    }
+    if (config_.server_shards == 0) {
+      return Error{Errc::kInvalidArgument, "server_shards must be positive"};
     }
     return config_;
   }

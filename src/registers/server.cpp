@@ -1,8 +1,79 @@
 #include "registers/server.h"
 
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
 #include "common/log.h"
 
 namespace bftreg::registers {
+
+// --- NewestCache ------------------------------------------------------------
+
+void NewestCache::publish(const Tag& tag, const Bytes& value) {
+  InlineEntry entry;
+  entry.tag_num = tag.num;
+  entry.writer_index = tag.writer.index;
+  entry.writer_role = static_cast<uint8_t>(tag.writer.role);
+  if (value.size() <= kInlineValueCap) {
+    entry.oversize = 0;
+    entry.len = static_cast<uint16_t>(value.size());
+    if (!value.empty()) std::memcpy(entry.data, value.data(), value.size());
+  } else {
+    // Pointer first, sentinel second: a reader that observes the sentinel
+    // through the seqlock's release/acquire pair also observes this store.
+    oversize_.store(std::make_shared<const TaggedValue>(TaggedValue{tag, value}),
+                    std::memory_order_release);
+    entry.oversize = 1;
+  }
+  inline_.publish(entry);
+}
+
+bool NewestCache::read(Tag* tag, Bytes* value) const {
+  InlineEntry entry;
+  if (!inline_.read(&entry)) return false;
+  if (entry.oversize != 0) {
+    // The pointee is immutable and carries its own tag, so even if the
+    // pointer has advanced past the snapshot we read, the pair returned is
+    // self-consistent (and newer -- monotonic, like the seqlock itself).
+    const auto pair = oversize_.load(std::memory_order_acquire);
+    if (pair == nullptr) return false;  // unreachable; defensive
+    *tag = pair->tag;
+    if (value != nullptr) *value = pair->value;
+    return true;
+  }
+  *tag = Tag{entry.tag_num,
+             ProcessId{static_cast<Role>(entry.writer_role), entry.writer_index}};
+  if (value != nullptr) value->assign(entry.data, entry.data + entry.len);
+  return true;
+}
+
+// --- NewestCacheIndex -------------------------------------------------------
+
+void NewestCacheIndex::insert(uint32_t object, const NewestCache* cache) {
+  auto node = std::make_unique<Node>();
+  node->object = object;
+  node->cache = cache;
+  std::atomic<Node*>& head = heads_[object & (kBuckets - 1)];
+  node->next = head.load(std::memory_order_relaxed);
+  Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  // Publication point: the release pairs with find()'s acquire, ordering
+  // the node's fields (and everything reachable through them) before any
+  // reader can traverse to it.
+  head.store(raw, std::memory_order_release);
+}
+
+const NewestCache* NewestCacheIndex::find(uint32_t object) const {
+  const std::atomic<Node*>& head = heads_[object & (kBuckets - 1)];
+  for (const Node* n = head.load(std::memory_order_acquire); n != nullptr;
+       n = n->next) {
+    if (n->object == object) return n->cache;
+  }
+  return nullptr;
+}
+
+// --- RegisterServer ---------------------------------------------------------
 
 RegisterServer::RegisterServer(ProcessId self, SystemConfig config,
                                net::Transport* transport, Bytes initial)
@@ -10,21 +81,72 @@ RegisterServer::RegisterServer(ProcessId self, SystemConfig config,
       config_(std::move(config)),
       transport_(transport),
       initial_(std::move(initial)) {
-  object_store(0);  // the default register exists from the start
+  initial_store_.emplace(Tag::initial(), initial_);
+  const size_t nshards = std::max<size_t>(1, config_.server_shards);
+  shards_.reserve(nshards);
+  for (size_t s = 0; s < nshards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  materialize(0);  // the default register exists from the start
 }
 
-std::map<Tag, Bytes>& RegisterServer::object_store(uint32_t object) {
-  auto it = stores_.find(object);
-  if (it == stores_.end()) {
-    it = stores_.emplace(object, std::map<Tag, Bytes>{}).first;
-    it->second.emplace(Tag::initial(), initial_);
+uint32_t RegisterServer::delivery_shards() const {
+  return static_cast<uint32_t>(shards_.size());
+}
+
+uint32_t RegisterServer::shard_of(const net::Envelope& env) const {
+  // Wire layout (messages.cpp): type u8 at 0, op_id u64 at 1, object u32
+  // little-endian at 9. Peeking avoids a full defensive parse per routing
+  // decision; anything shorter than the fixed prefix cannot be a valid
+  // message and lands on shard 0 for the parser to reject.
+  constexpr size_t kObjectOffset = 1 + 8;
+  if (env.payload.size() < kObjectOffset + 4) return 0;
+  const uint8_t* p = env.payload.data() + kObjectOffset;
+  const uint32_t object = static_cast<uint32_t>(p[0]) |
+                          (static_cast<uint32_t>(p[1]) << 8) |
+                          (static_cast<uint32_t>(p[2]) << 16) |
+                          (static_cast<uint32_t>(p[3]) << 24);
+  return owner_shard(object);
+}
+
+uint32_t RegisterServer::owner_shard(uint32_t object) const {
+  if (shards_.size() == 1) return 0;
+  return static_cast<uint32_t>(fnv1a64(&object, sizeof(object)) %
+                               shards_.size());
+}
+
+RegisterServer::Shard& RegisterServer::shard_for(uint32_t object) {
+  return *shards_[owner_shard(object)];
+}
+
+const RegisterServer::Shard& RegisterServer::shard_for(uint32_t object) const {
+  return *shards_[owner_shard(object)];
+}
+
+RegisterServer::ObjectState& RegisterServer::materialize(uint32_t object) {
+  Shard& shard = shard_for(object);
+  auto it = shard.objects.find(object);
+  if (it == shard.objects.end()) {
+    it = shard.objects.try_emplace(object).first;  // in place: not movable
+    it->second.log.emplace(Tag::initial(), initial_);
+    stored_bytes_.fetch_add(initial_.size(), std::memory_order_relaxed);
+    it->second.newest.publish(Tag::initial(), initial_);
+    // Index entry last: a cross-shard reader that finds the cache sees it
+    // already holding the {t0, initial} snapshot. Map nodes are stable, so
+    // the pointer survives future inserts.
+    shard.index.insert(object, &it->second.newest);
   }
   return it->second;
 }
 
+std::map<Tag, Bytes>& RegisterServer::object_store(uint32_t object) {
+  return materialize(object).log;
+}
+
 const std::map<Tag, Bytes>* RegisterServer::find_store(uint32_t object) const {
-  auto it = stores_.find(object);
-  return it == stores_.end() ? nullptr : &it->second;
+  const Shard& shard = shard_for(object);
+  auto it = shard.objects.find(object);
+  return it == shard.objects.end() ? nullptr : &it->second.log;
 }
 
 std::pair<Tag, const Bytes*> RegisterServer::newest_entry(uint32_t object) const {
@@ -35,12 +157,40 @@ std::pair<Tag, const Bytes*> RegisterServer::newest_entry(uint32_t object) const
   return {Tag::initial(), &initial_};
 }
 
+bool RegisterServer::read_newest(uint32_t object, Tag* tag, Bytes* value) const {
+  const NewestCache* cache = shard_for(object).index.find(object);
+  return cache != nullptr && cache->read(tag, value);
+}
+
 size_t RegisterServer::stored_bytes() const {
-  size_t total = 0;
-  for (const auto& [object, store] : stores_) {
-    for (const auto& [tag, value] : store) total += value.size();
+  const size_t total = stored_bytes_.load(std::memory_order_relaxed);
+#ifndef NDEBUG
+  // Quiescent callers only (see header): cross-check the incremental
+  // counter against the full walk it replaced.
+  size_t walked = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& [object, state] : shard->objects) {
+      for (const auto& [tag, value] : state.log) walked += value.size();
+    }
   }
+  assert(walked == total && "incremental stored_bytes diverged from walk");
+#endif
   return total;
+}
+
+size_t RegisterServer::objects_known() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->objects.size();
+  return total;
+}
+
+std::vector<uint32_t> RegisterServer::object_ids() const {
+  std::vector<uint32_t> out;
+  for (const auto& shard : shards_) {
+    for (const auto& [object, state] : shard->objects) out.push_back(object);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void RegisterServer::reply(const ProcessId& to, const RegisterMessage& msg) {
@@ -91,12 +241,17 @@ void RegisterServer::handle_query_tag(const ProcessId& from,
   resp.type = MsgType::kTagResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  resp.tag = newest_entry(req.object).first;
+  // Seqlock fast path: the newest tag comes from the published snapshot,
+  // not the shard's map (identical answer -- the owner publishes on every
+  // applied put and this handler runs on the owner shard).
+  if (!read_newest(req.object, &resp.tag, nullptr)) resp.tag = Tag::initial();
   reply(from, resp);
 }
 
 bool RegisterServer::apply_put(uint32_t object, const Tag& tag, Bytes value) {
-  auto& store = object_store(object);
+  ObjectState& state = materialize(object);
+  auto& store = state.log;
+  const size_t value_size = value.size();
   bool added = false;
   switch (config_.store_policy) {
     case StorePolicy::kMaxOnly:
@@ -111,19 +266,28 @@ bool RegisterServer::apply_put(uint32_t object, const Tag& tag, Bytes value) {
       break;
   }
   if (!added) return false;
-  ++puts_applied_;
+  puts_applied_.fetch_add(1, std::memory_order_relaxed);
+  stored_bytes_.fetch_add(value_size, std::memory_order_relaxed);
 
   // Optional GC: drop the lowest-tagged entries beyond the budget. The
   // newest pair always survives, so QUERY-TAG / QUERY-DATA semantics are
   // untouched; only history-consulting reads feel this.
   if (config_.max_history > 0) {
     while (store.size() > config_.max_history) {
+      stored_bytes_.fetch_sub(store.begin()->second.size(),
+                              std::memory_order_relaxed);
       store.erase(store.begin());
     }
   }
 
+  // Publish the (possibly unchanged, if an old tag was back-filled) newest
+  // pair; tags only grow, so snapshot versions are tag-monotonic.
+  const auto newest = store.rbegin();
+  state.newest.publish(newest->first, newest->second);
+
   // Wake any readers whose two-round get-data asked for this tag.
-  if (auto it = deferred_.find({object, tag}); it != deferred_.end()) {
+  Shard& shard = shard_for(object);
+  if (auto it = shard.deferred.find({object, tag}); it != shard.deferred.end()) {
     RegisterMessage resp;
     resp.type = MsgType::kDataAtResp;
     resp.object = object;
@@ -133,13 +297,13 @@ bool RegisterServer::apply_put(uint32_t object, const Tag& tag, Bytes value) {
       resp.op_id = op_id;
       reply(reader, resp);
       // Unindex the satisfied waiter (its other deferred keys, if any, stay).
-      if (auto rev = deferred_by_op_.find({reader, op_id});
-          rev != deferred_by_op_.end()) {
+      if (auto rev = shard.deferred_by_op.find({reader, op_id});
+          rev != shard.deferred_by_op.end()) {
         std::erase(rev->second, std::make_pair(object, tag));
-        if (rev->second.empty()) deferred_by_op_.erase(rev);
+        if (rev->second.empty()) shard.deferred_by_op.erase(rev);
       }
     }
-    deferred_.erase(it);
+    shard.deferred.erase(it);
   }
   return true;
 }
@@ -157,13 +321,14 @@ void RegisterServer::handle_put_data(const ProcessId& from, RegisterMessage req)
 
 void RegisterServer::handle_query_data(const ProcessId& from,
                                        const RegisterMessage& req) {
-  const auto [tag, value] = newest_entry(req.object);
   RegisterMessage resp;
   resp.type = MsgType::kDataResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  resp.tag = tag;
-  resp.value = *value;
+  if (!read_newest(req.object, &resp.tag, &resp.value)) {
+    resp.tag = Tag::initial();
+    resp.value = initial_;
+  }
   reply(from, resp);
 }
 
@@ -221,9 +386,11 @@ void RegisterServer::handle_query_data_at(const ProcessId& from,
   // Not known yet: tell the reader so, and defer a real answer until the
   // corresponding PUT-DATA reaches us (channels are reliable, so unless the
   // writer crashed mid-multicast it eventually will; see the liveness
-  // discussion in two_round_reader.h).
-  deferred_[{req.object, req.tag}].emplace_back(from, req.op_id);
-  deferred_by_op_[{from, req.op_id}].emplace_back(req.object, req.tag);
+  // discussion in two_round_reader.h). PUT-DATA for this object routes to
+  // this shard, so the wake-up in apply_put finds the waiter locally.
+  Shard& shard = shard_for(req.object);
+  shard.deferred[{req.object, req.tag}].emplace_back(from, req.op_id);
+  shard.deferred_by_op[{from, req.op_id}].emplace_back(req.object, req.tag);
   RegisterMessage resp;
   resp.type = MsgType::kDataAtMissing;
   resp.op_id = req.op_id;
@@ -247,8 +414,13 @@ void RegisterServer::handle_query_data_batch(const ProcessId& from,
                       req.objects.begin() + static_cast<long>(count));
   resp.history.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    const auto [tag, value] = newest_entry(req.objects[i]);
-    resp.history.push_back(TaggedValue{tag, *value});
+    // The request's objects may be owned by other shards; the seqlock
+    // snapshots are the one structure safe to read across shard threads.
+    TaggedValue tv;
+    if (!read_newest(req.objects[i], &tv.tag, &tv.value)) {
+      tv = TaggedValue{Tag::initial(), initial_};
+    }
+    resp.history.push_back(std::move(tv));
   }
   reply(from, resp);
 }
@@ -260,19 +432,21 @@ void RegisterServer::handle_read_done(const ProcessId& from,
   // operations -- a range erase (op_id <= done id) would cancel deferred
   // replies belonging to that client's still-running reads in other
   // namespaces. The reverse index pinpoints this op's deferred keys, so
-  // the cancel never touches other readers' waiters.
-  auto rev = deferred_by_op_.find({from, req.op_id});
-  if (rev == deferred_by_op_.end()) return;
+  // the cancel never touches other readers' waiters. READ-DONE carries the
+  // op's object id, so it routes to the shard holding those waiters.
+  Shard& shard = shard_for(req.object);
+  auto rev = shard.deferred_by_op.find({from, req.op_id});
+  if (rev == shard.deferred_by_op.end()) return;
   for (const auto& key : rev->second) {
-    auto it = deferred_.find(key);
-    if (it == deferred_.end()) continue;
+    auto it = shard.deferred.find(key);
+    if (it == shard.deferred.end()) continue;
     auto& waiters = it->second;
     std::erase_if(waiters, [&](const auto& w) {
       return w.first == from && w.second == req.op_id;
     });
-    if (waiters.empty()) deferred_.erase(it);
+    if (waiters.empty()) shard.deferred.erase(it);
   }
-  deferred_by_op_.erase(rev);
+  shard.deferred_by_op.erase(rev);
 }
 
 }  // namespace bftreg::registers

@@ -8,6 +8,18 @@
 // request names an object id, and the server keeps one list L per object,
 // lazily initialized to {(t0, initial)}.
 //
+// Sharded dispatch (SystemConfig::server_shards, default 1): the object
+// table is split into shards keyed hash(object) % shards, and the server
+// asks its transport for one delivery context per shard (delivery_shards /
+// shard_of below). Every message that names an object routes to the shard
+// that owns it, so each shard's std::map state is touched by exactly one
+// mailbox thread and needs no lock. The one cross-shard read -- QUERY-DATA-
+// BATCH, whose object list can span owners -- goes through a per-object
+// seqlock snapshot (common/seqlock.h) of the newest (tag, value) pair,
+// published by the owning shard on every applied put and readable from any
+// thread. QUERY-TAG and QUERY-DATA answer from the same snapshot, keeping
+// the read fast path off the shard's map entirely.
+//
 // Supported requests:
 //   QUERY-TAG           -> TAG-RESP(max tag in L)              (get-tag-resp)
 //   PUT-DATA(t, v)      -> ACK; L grows per StorePolicy        (put-data-resp)
@@ -21,15 +33,86 @@
 //                          named in the request (extension: one-shot multi-get)
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/seqlock.h"
 #include "net/transport.h"
 #include "registers/config.h"
 #include "registers/messages.h"
 
 namespace bftreg::registers {
+
+/// Lock-free published copy of an object's newest (tag, value) pair.
+/// Written only by the object's owner shard; readable from any thread.
+/// Values up to kInlineValueCap bytes live inside the seqlock snapshot;
+/// larger ones are swapped through an atomic shared_ptr whose pointee is
+/// immutable and self-consistent (tag and value travel together).
+class NewestCache {
+ public:
+  /// Largest value carried inline in the seqlock snapshot. BSR control
+  /// messages and BCSR coded elements for small registers fit; bulk values
+  /// take the shared_ptr path.
+  static constexpr size_t kInlineValueCap = 256;
+
+  /// Owner shard only. Publishes (tag, value) as the newest pair.
+  void publish(const Tag& tag, const Bytes& value);
+
+  /// Any thread. Returns false only before the first publish. `value` may
+  /// be null when the caller wants just the tag (QUERY-TAG).
+  bool read(Tag* tag, Bytes* value) const;
+
+ private:
+  struct InlineEntry {
+    uint64_t tag_num{0};
+    uint32_t writer_index{0};
+    uint8_t writer_role{0};
+    /// 1: the pair lives in oversize_ (len/data unused).
+    uint8_t oversize{0};
+    uint16_t len{0};
+    uint8_t data[kInlineValueCap]{};
+  };
+
+  common::Seqlock<InlineEntry> inline_;
+  /// Published *before* the inline sentinel that points at it, so a reader
+  /// that sees oversize == 1 always finds the pointer (release/acquire via
+  /// the seqlock's sequence).
+  std::atomic<std::shared_ptr<const TaggedValue>> oversize_;
+};
+
+/// Append-only object -> NewestCache* index, written by one shard thread
+/// and probed lock-free by any thread (QUERY-DATA-BATCH reads objects owned
+/// by other shards through this). Nodes are immutable once the bucket-head
+/// release store publishes them, and objects are never removed, so readers
+/// traverse plain `next` pointers with no further synchronization.
+class NewestCacheIndex {
+ public:
+  NewestCacheIndex() = default;
+  NewestCacheIndex(const NewestCacheIndex&) = delete;
+  NewestCacheIndex& operator=(const NewestCacheIndex&) = delete;
+
+  /// Owner shard only; `object` must not already be present.
+  void insert(uint32_t object, const NewestCache* cache);
+
+  /// Any thread; nullptr when the object was never materialized.
+  const NewestCache* find(uint32_t object) const;
+
+ private:
+  static constexpr size_t kBuckets = 64;  // power of two
+
+  struct Node {
+    uint32_t object;
+    const NewestCache* cache;
+    Node* next;
+  };
+
+  std::atomic<Node*> heads_[kBuckets]{};
+  /// Owns the nodes; touched only by the writing shard thread.
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
 
 class RegisterServer : public net::IProcess {
  public:
@@ -41,42 +124,56 @@ class RegisterServer : public net::IProcess {
 
   void on_message(const net::Envelope& env) override;
 
-  // --- introspection (tests, storage accounting for E4) -------------------
+  /// One delivery context per object-table shard (SystemConfig::
+  /// server_shards). Durable subclasses that serialize through a WAL pin
+  /// this back to 1.
+  uint32_t delivery_shards() const override;
 
-  /// The list L for `object` (creating it if this server has never heard
-  /// of the object -- harmless, matches lazy initialization).
-  const std::map<Tag, Bytes>& store(uint32_t object = 0) {
-    return object_store(object);
+  /// Peeks the object id out of the (not yet parsed) wire payload and
+  /// returns its owner shard. Pure; runs on the sender's thread. Malformed
+  /// or too-short payloads go to shard 0, where the full defensive parse
+  /// rejects them.
+  uint32_t shard_of(const net::Envelope& env) const override;
+
+  // --- introspection (tests, storage accounting for E4) -------------------
+  // Read-only and never materializing: asking about an object this server
+  // has never stored answers as its lazy initialization {(t0, initial)}
+  // without creating state. Callers must be quiescent (no in-flight
+  // deliveries) -- these walk shard-private maps without locks.
+
+  /// The list L for `object`; {(t0, initial)} if this server has never
+  /// heard of the object.
+  const std::map<Tag, Bytes>& store(uint32_t object = 0) const {
+    const auto* s = find_store(object);
+    return s != nullptr ? *s : initial_store_;
   }
-  Tag max_tag(uint32_t object = 0) {
-    return object_store(object).rbegin()->first;
-  }
-  const Bytes& max_value(uint32_t object = 0) {
-    return object_store(object).rbegin()->second;
+  Tag max_tag(uint32_t object = 0) const { return newest_entry(object).first; }
+  const Bytes& max_value(uint32_t object = 0) const {
+    return *newest_entry(object).second;
   }
 
   /// Total payload bytes stored across every object (the paper's
-  /// storage-cost metric).
+  /// storage-cost metric). Maintained incrementally by apply_put; debug
+  /// builds cross-check against a full walk.
   size_t stored_bytes() const;
 
-  size_t objects_known() const { return stores_.size(); }
-  std::vector<uint32_t> object_ids() const {
-    std::vector<uint32_t> out;
-    out.reserve(stores_.size());
-    for (const auto& [object, store] : stores_) out.push_back(object);
-    return out;
+  size_t objects_known() const;
+  std::vector<uint32_t> object_ids() const;
+  uint64_t puts_applied() const {
+    return puts_applied_.load(std::memory_order_relaxed);
   }
-  uint64_t puts_applied() const { return puts_applied_; }
 
  protected:
   /// Inserts (tag, value) according to the store policy; returns true if the
   /// entry was added. Also satisfies deferred QUERY-DATA-AT readers.
   /// Virtual so durable servers (storage::PersistentRegisterServer) can
-  /// interpose write-ahead logging.
+  /// interpose write-ahead logging. Runs on `object`'s owner shard.
   virtual bool apply_put(uint32_t object, const Tag& tag, Bytes value);
 
   void reply(const ProcessId& to, const RegisterMessage& msg);
 
+  /// The mutable list L, materializing {(t0, initial)} on first touch.
+  /// Owner-shard threads (and single-threaded recovery) only.
   std::map<Tag, Bytes>& object_store(uint32_t object);
 
   /// Read-only lookup of L: nullptr when this server has never stored a put
@@ -96,6 +193,40 @@ class RegisterServer : public net::IProcess {
   net::Transport* const transport_;
 
  private:
+  /// Everything one mailbox shard owns. No locks: the transport guarantees
+  /// all messages for this shard's objects arrive on one thread.
+  struct ObjectState {
+    /// The list L of Fig. 3 / Fig. 6.
+    std::map<Tag, Bytes> log;
+    NewestCache newest;
+  };
+  struct Shard {
+    std::map<uint32_t, ObjectState> objects;
+    /// Readers waiting for a tag they asked about that we have not yet
+    /// seen: (object, tag) -> [(reader, op_id)].
+    std::map<std::pair<uint32_t, Tag>,
+             std::vector<std::pair<ProcessId, uint64_t>>>
+        deferred;
+    /// Reverse index: (reader, op_id) -> the deferred keys that hold its
+    /// waiters, so READ-DONE cancels with two targeted lookups instead of
+    /// sweeping every deferred entry. An op names one object, so all its
+    /// keys land in this shard with it.
+    std::map<std::pair<ProcessId, uint64_t>,
+             std::vector<std::pair<uint32_t, Tag>>>
+        deferred_by_op;
+    NewestCacheIndex index;
+  };
+
+  uint32_t owner_shard(uint32_t object) const;
+  Shard& shard_for(uint32_t object);
+  const Shard& shard_for(uint32_t object) const;
+  /// Creates (if needed) and returns `object`'s state, publishing the
+  /// {t0, initial} snapshot and index entry on first touch.
+  ObjectState& materialize(uint32_t object);
+  /// Cross-shard newest read through the seqlock cache; false when the
+  /// object was never materialized (caller answers {t0, initial_}).
+  bool read_newest(uint32_t object, Tag* tag, Bytes* value) const;
+
   void handle_query_tag(const ProcessId& from, const RegisterMessage& req);
   void handle_put_data(const ProcessId& from, RegisterMessage req);
   void handle_query_data(const ProcessId& from, const RegisterMessage& req);
@@ -106,19 +237,14 @@ class RegisterServer : public net::IProcess {
   void handle_query_data_batch(const ProcessId& from, const RegisterMessage& req);
 
   Bytes initial_;
-  /// object id -> the list L of Fig. 3 / Fig. 6.
-  std::map<uint32_t, std::map<Tag, Bytes>> stores_;
-  /// Readers waiting for a tag they asked about that we have not yet seen:
-  /// (object, tag) -> [(reader, op_id)].
-  std::map<std::pair<uint32_t, Tag>, std::vector<std::pair<ProcessId, uint64_t>>>
-      deferred_;
-  /// Reverse index: (reader, op_id) -> the deferred_ keys that hold its
-  /// waiters, so READ-DONE cancels with two targeted lookups instead of
-  /// sweeping every deferred entry (which is O(all waiters server-wide) and
-  /// grows with unrelated readers' backlogs).
-  std::map<std::pair<ProcessId, uint64_t>, std::vector<std::pair<uint32_t, Tag>>>
-      deferred_by_op_;
-  uint64_t puts_applied_{0};
+  /// What store() returns for never-seen objects: the lazy initialization
+  /// {(t0, initial)}, materialized once here instead of per query.
+  std::map<Tag, Bytes> initial_store_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> puts_applied_{0};
+  /// Incrementally maintained sum of value bytes across all lists (updated
+  /// by owner shards on insert/GC-erase; relaxed -- it is a metric).
+  std::atomic<size_t> stored_bytes_{0};
 };
 
 }  // namespace bftreg::registers

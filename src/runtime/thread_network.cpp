@@ -1,5 +1,6 @@
 #include "runtime/thread_network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <future>
 
@@ -16,20 +17,38 @@ ThreadNetwork::ThreadNetwork(RuntimeConfig config)
 ThreadNetwork::~ThreadNetwork() { stop(); }
 
 void ThreadNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
-  assert(!running_.load());
+  assert(!running_.load(std::memory_order_acquire));
   auto box = std::make_unique<Mailbox>();
   box->process = process;
+  const uint32_t nshards = std::max<uint32_t>(1, process->delivery_shards());
+  box->shards.reserve(nshards);
+  for (uint32_t s = 0; s < nshards; ++s) {
+    box->shards.push_back(std::make_unique<MailboxShard>());
+  }
+  auto& slots = by_role_[static_cast<uint8_t>(pid.role)];
+  if (slots.size() <= pid.index) slots.resize(pid.index + 1, nullptr);
+  slots[pid.index] = box.get();
   boxes_[pid] = std::move(box);
 }
 
 void ThreadNetwork::start() {
-  assert(!running_.load());
-  running_.store(true);
+  assert(!running_.load(std::memory_order_acquire));
+  running_.store(true, std::memory_order_release);
+  {
+    std::vector<ProcessId> pids;
+    pids.reserve(boxes_.size());
+    for (const auto& [pid, box] : boxes_) pids.push_back(pid);
+    auth_.precompute(pids);
+  }
   sched_thread_ = std::thread([this] { scheduler_loop(); });
   for (auto& [pid, box] : boxes_) {
     Mailbox* b = box.get();
-    b->thread = std::thread([this, b] { mailbox_loop(b); });
-    enqueue(b, [b] { b->process->on_start(); });
+    b->threads.reserve(b->shards.size());
+    for (auto& shard : b->shards) {
+      MailboxShard* s = shard.get();
+      b->threads.emplace_back([this, b, s] { mailbox_loop(b, s); });
+    }
+    enqueue(b, 0, MailItem{nullptr, {}, [b] { b->process->on_start(); }});
   }
 }
 
@@ -37,13 +56,15 @@ bool ThreadNetwork::on_internal_thread() const {
   const auto self = std::this_thread::get_id();
   if (sched_thread_.joinable() && self == sched_thread_.get_id()) return true;
   for (const auto& [pid, box] : boxes_) {
-    if (box->thread.joinable() && self == box->thread.get_id()) return true;
+    for (const auto& t : box->threads) {
+      if (t.joinable() && self == t.get_id()) return true;
+    }
   }
   return false;
 }
 
 void ThreadNetwork::stop() {
-  if (!running_.exchange(false)) return;
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   // Joining our own mailbox/scheduler thread would deadlock; stop() is an
   // external-thread API (see header contract).
   assert(!on_internal_thread() && "stop() called from a network-owned thread");
@@ -53,16 +74,17 @@ void ThreadNetwork::stop() {
   }
   if (sched_thread_.joinable()) sched_thread_.join();
   for (auto& [pid, box] : boxes_) {
-    {
-      MutexLock lock(box->mu);
-      box->cv.notify_all();
+    for (auto& shard : box->shards) shard->stop();
+    for (auto& t : box->threads) {
+      if (t.joinable()) t.join();
     }
-    if (box->thread.joinable()) box->thread.join();
   }
 }
 
 void ThreadNetwork::mark_crashed(const ProcessId& pid) {
-  if (Mailbox* box = find(pid)) box->crashed.store(true);
+  if (Mailbox* box = find(pid)) {
+    box->crashed.store(true, std::memory_order_release);
+  }
 }
 
 TimeNs ThreadNetwork::now() const {
@@ -71,47 +93,46 @@ TimeNs ThreadNetwork::now() const {
                                  .count());
 }
 
-ThreadNetwork::Mailbox* ThreadNetwork::find(const ProcessId& pid) {
-  auto it = boxes_.find(pid);
-  return it == boxes_.end() ? nullptr : it->second.get();
+ThreadNetwork::Mailbox* ThreadNetwork::find(const ProcessId& pid) const {
+  const auto role = static_cast<uint8_t>(pid.role);
+  if (role >= 3) return nullptr;
+  const auto& slots = by_role_[role];
+  return pid.index < slots.size() ? slots[pid.index] : nullptr;
 }
 
-void ThreadNetwork::enqueue(Mailbox* box, std::function<void()> fn) {
-  MutexLock lock(box->mu);
-  const bool was_idle = box->items.empty();
-  box->items.push_back(std::move(fn));
-  // Only an empty->non-empty transition can find the mailbox thread asleep;
-  // otherwise it is mid-batch and re-checks the queue before waiting.
-  if (was_idle) box->cv.notify_one();
+void ThreadNetwork::enqueue(Mailbox* box, uint32_t shard, MailItem item) {
+  if (box->shards[shard]->push_item(std::move(item))) {
+    metrics_.on_mailbox_overflow();
+  }
 }
 
-void ThreadNetwork::mailbox_loop(Mailbox* box) {
-  // Swap the whole queue out per wakeup instead of popping one item per
-  // lock round trip: under load this takes the mutex once per burst, not
-  // once per message. The per-item crashed check is preserved -- a crash
-  // takes effect mid-batch, exactly as it did item-by-item.
-  std::deque<std::function<void()>> work;
-  for (;;) {
-    work.clear();
-    {
-      MutexLock lock(box->mu);
-      while (box->items.empty() && running_.load()) box->cv.wait(lock);
-      if (box->items.empty()) return;  // stopped and drained
-      work.swap(box->items);
+void ThreadNetwork::mailbox_loop(Mailbox* box, MailboxShard* shard) {
+  // pop_wait_consume drains whole batches in place: under load the ring
+  // hands us bursts without a lock in sight, and the per-item crashed
+  // check is preserved -- a crash takes effect mid-batch, exactly as it
+  // did item-by-item.
+  auto handle = [box](MailItem& item) {
+    if (box->crashed.load(std::memory_order_acquire)) return;
+    if (item.proc != nullptr) {
+      item.proc->on_message(item.env);
+    } else if (item.fn) {
+      item.fn();
     }
-    for (auto& fn : work) {
-      if (!box->crashed.load()) fn();
-    }
+  };
+  while (shard->pop_wait_consume(handle)) {
   }
 }
 
 void ThreadNetwork::send_payload(const ProcessId& from, const ProcessId& to,
                                  Payload payload) {
-  if (Mailbox* src = find(from); src != nullptr && src->crashed.load()) return;
+  if (Mailbox* src = find(from);
+      src != nullptr && src->crashed.load(std::memory_order_acquire)) {
+    return;
+  }
   net::Envelope env;
   env.from = from;
   env.to = to;
-  env.seq = next_seq_.fetch_add(1);
+  env.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   env.sent_at = now();
   env.mac = auth_.seal(from, to, payload);
   env.payload = std::move(payload);
@@ -133,20 +154,28 @@ void ThreadNetwork::send_payload(const ProcessId& from, const ProcessId& to,
 
 void ThreadNetwork::route(net::Envelope env) {
   Mailbox* box = find(env.to);
-  if (box == nullptr || box->crashed.load()) return;
-  if (!auth_.verify(env.from, env.to, env.payload, env.mac)) {
-    metrics_.on_auth_failure();
-    return;
-  }
+  if (box == nullptr || box->crashed.load(std::memory_order_acquire)) return;
+  // Unlike the socket transport, no byte ever left this address space:
+  // every envelope was sealed by send_payload above over an immutable
+  // refcounted payload, so re-verifying here is the identity check by
+  // construction. Model the receiver-side verification as a debug
+  // assertion instead of burning a SipHash pass per delivery.
+  assert(auth_.verify(env.from, env.to, env.payload, env.mac));
   metrics_.on_deliver();
   net::IProcess* proc = box->process;
-  enqueue(box, [proc, e = std::move(env)] { proc->on_message(e); });
+  // shard_of runs on the sender's thread by contract (pure function of the
+  // envelope); the modulo keeps a buggy override in range.
+  uint32_t shard = 0;
+  if (box->shards.size() > 1) {
+    shard = proc->shard_of(env) % static_cast<uint32_t>(box->shards.size());
+  }
+  enqueue(box, shard, MailItem{proc, std::move(env), nullptr});
 }
 
 void ThreadNetwork::scheduler_loop() {
   MutexLock lock(sched_mu_);
   for (;;) {
-    if (!running_.load()) {
+    if (!running_.load(std::memory_order_acquire)) {
       // Shutting down: anything not yet due is dropped -- pending
       // post_after timers may be arbitrarily far in the future and must
       // not stall stop(), which joins this thread.
@@ -186,7 +215,11 @@ void ThreadNetwork::scheduler_loop() {
 }
 
 void ThreadNetwork::post(const ProcessId& pid, std::function<void()> fn) {
-  if (Mailbox* box = find(pid)) enqueue(box, std::move(fn));
+  // Tasks (client op starts, timer fires) always run on shard 0 so they
+  // keep the single-context guarantee protocol clients rely on.
+  if (Mailbox* box = find(pid)) {
+    enqueue(box, 0, MailItem{nullptr, {}, std::move(fn)});
+  }
 }
 
 void ThreadNetwork::post_after(const ProcessId& pid, TimeNs delta,
@@ -196,8 +229,8 @@ void ThreadNetwork::post_after(const ProcessId& pid, TimeNs delta,
     return;
   }
   MutexLock lock(sched_mu_);
-  sched_queue_.push(
-      Timed{now() + delta, next_seq_.fetch_add(1), net::Envelope{}, pid, std::move(fn)});
+  sched_queue_.push(Timed{now() + delta, next_seq_.fetch_add(1, std::memory_order_relaxed),
+                          net::Envelope{}, pid, std::move(fn)});
   sched_cv_.notify_one();
 }
 

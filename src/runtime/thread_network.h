@@ -1,15 +1,21 @@
-// Real-time, thread-per-process transport.
+// Real-time, thread-per-shard transport.
 //
 // The same protocol state machines that run under the deterministic
 // simulator run here on actual OS threads with wall-clock delays: each
-// process owns a mailbox thread that serializes its handlers (so protocol
-// code stays single-threaded), and a scheduler thread applies the configured
-// delay model before routing envelopes to destination mailboxes. Used by
-// the throughput/latency benches (E3) and the examples.
+// process owns one mailbox thread per delivery shard (IProcess::
+// delivery_shards(), 1 for almost everything) that serializes its
+// handlers, and a scheduler thread applies the configured delay model
+// before routing envelopes to destination mailboxes. Used by the
+// throughput/latency benches (E3) and the examples.
+//
+// Delivery is lock-free in the steady state: senders publish MailItems
+// into the destination shard's bounded MPSC ring (runtime/mailbox.h) and
+// the shard thread drains them in batches; mutexes appear only when a
+// consumer parks idle or a full ring spills to the overflow deque.
 //
 // Locking map (statically checked under clang -Wthread-safety):
-//   * Mailbox::mu guards the per-process item queue; the mailbox thread and
-//     any sender may contend on it.
+//   * each MailboxShard's internal mu guards its overflow deque and parks
+//     its idle consumer (see runtime/mailbox.h for the wake handshake);
 //   * sched_mu_ guards the delayed-delivery priority queue.
 //   * rng_mu_ guards the delay-model RNG (senders draw delays concurrently).
 // boxes_ itself is written only before start() and is read-only afterwards,
@@ -18,7 +24,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -32,6 +37,7 @@
 #include "crypto/auth.h"
 #include "net/delay.h"
 #include "net/transport.h"
+#include "runtime/mailbox.h"
 
 namespace bftreg::runtime {
 
@@ -80,12 +86,12 @@ class ThreadNetwork final : public net::Transport {
 
  private:
   struct Mailbox {
-    Mutex mu;
-    CondVar cv;
-    std::deque<std::function<void()>> items GUARDED_BY(mu);
-    std::thread thread;
     net::IProcess* process{nullptr};  // set before start(), const afterwards
     std::atomic<bool> crashed{false};
+    // One ring + consumer thread per delivery shard; sized at add_process
+    // from process->delivery_shards() and immutable afterwards.
+    std::vector<std::unique_ptr<MailboxShard>> shards;
+    std::vector<std::thread> threads;
   };
 
   /// A delayed delivery (envelope) or a delayed task (post_after timer);
@@ -102,17 +108,21 @@ class ThreadNetwork final : public net::Transport {
     }
   };
 
-  void mailbox_loop(Mailbox* box);
+  void mailbox_loop(Mailbox* box, MailboxShard* shard);
   void scheduler_loop() EXCLUDES(sched_mu_);
-  void enqueue(Mailbox* box, std::function<void()> fn);
+  void enqueue(Mailbox* box, uint32_t shard, MailItem item);
   void route(net::Envelope env);
-  Mailbox* find(const ProcessId& pid);
+  Mailbox* find(const ProcessId& pid) const;
   bool on_internal_thread() const;
 
   crypto::Authenticator auth_;
   std::unique_ptr<net::DelayModel> delay_;
   net::NetworkMetrics metrics_;
   std::unordered_map<ProcessId, std::unique_ptr<Mailbox>> boxes_;
+  // Dense per-role index over boxes_ (role x index -> Mailbox*), built by
+  // add_process and immutable after start(): the per-message find() on the
+  // send/route hot path is two array loads instead of a hash probe.
+  std::vector<Mailbox*> by_role_[3];
 
   Mutex sched_mu_;
   CondVar sched_cv_;

@@ -25,10 +25,8 @@ constexpr size_t kMaxFrame = 64 * 1024 * 1024;  // sanity cap: 64 MiB
 constexpr size_t kMinRecv = 4096;
 /// iovec budget per sendmsg (well under any platform's IOV_MAX).
 constexpr size_t kMaxIov = 256;
-/// epoll events handled per wake (also bounds one mailbox batch's sources).
+/// epoll events handled per wake.
 constexpr int kMaxEvents = 64;
-/// Payload bytes after which a mailbox batch is flushed mid-wake.
-constexpr size_t kBatchFlushBytes = 4 * 1024 * 1024;
 
 uint32_t load_le32(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
@@ -56,18 +54,17 @@ struct TcpNetwork::Endpoint {
 
   std::thread reader_thread;
   std::thread writer_thread;
-  std::thread mailbox_thread;
 
   // Accepted sockets, for debug_shutdown_inbound / stop() wakeups. The fds
   // themselves are owned (accepted, read, closed) by the reader thread.
   Mutex conn_mu;
   std::vector<int> conn_fds GUARDED_BY(conn_mu);
 
-  // Mailbox serializing handler execution (same discipline as the other
-  // runtimes: protocol code is single-threaded per process).
-  Mutex mu;
-  CondVar cv;
-  std::deque<std::function<void()>> items GUARDED_BY(mu);
+  // Delivery shards (runtime/mailbox.h): handler execution is serialized
+  // per shard, one MPSC ring + consumer thread each. Single-shard for
+  // every process that keeps the default IProcess contract.
+  std::vector<std::unique_ptr<runtime::MailboxShard>> shards;
+  std::vector<std::thread> mailbox_threads;
 
   // Outbound: send() appends sealed frames; the writer thread swaps whole
   // queues out and coalesces them into sendmsg calls. No syscall ever runs
@@ -135,6 +132,11 @@ void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
   ep->pid = pid;
   ep->process = process;
   ep->pool = std::make_shared<ChunkPool>(config_.recv_pool_bytes);
+  const uint32_t nshards = std::max<uint32_t>(1, process->delivery_shards());
+  ep->shards.reserve(nshards);
+  for (uint32_t s = 0; s < nshards; ++s) {
+    ep->shards.push_back(std::make_unique<runtime::MailboxShard>());
+  }
 
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   assert(listen_fd >= 0);
@@ -173,10 +175,20 @@ void TcpNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
 
 void TcpNetwork::start() {
   assert(!running_.exchange(true));
+  {
+    std::vector<ProcessId> pids;
+    pids.reserve(endpoints_.size());
+    for (const auto& [pid, ep] : endpoints_) pids.push_back(pid);
+    auth_.precompute(pids);
+  }
   timer_thread_ = std::thread([this] { timer_loop(); });
   for (auto& [pid, ep] : endpoints_) {
     Endpoint* e = ep.get();
-    e->mailbox_thread = std::thread([this, e] { mailbox_loop(e); });
+    e->mailbox_threads.reserve(e->shards.size());
+    for (auto& shard : e->shards) {
+      runtime::MailboxShard* s = shard.get();
+      e->mailbox_threads.emplace_back([this, s] { mailbox_loop(s); });
+    }
     e->writer_thread = std::thread([this, e] { writer_loop(e); });
     e->reader_thread = std::thread([this, e] { reader_loop(e); });
     enqueue(e, [e] { e->process->on_start(); });
@@ -191,8 +203,9 @@ bool TcpNetwork::on_internal_thread() const {
       return true;
     if (ep->writer_thread.joinable() && self == ep->writer_thread.get_id())
       return true;
-    if (ep->mailbox_thread.joinable() && self == ep->mailbox_thread.get_id())
-      return true;
+    for (const auto& t : ep->mailbox_threads) {
+      if (t.joinable() && self == t.get_id()) return true;
+    }
   }
   return false;
 }
@@ -232,41 +245,47 @@ void TcpNetwork::stop() {
     if (ep->wake_fd >= 0) ::close(ep->wake_fd);
     if (ep->epoll_fd >= 0) ::close(ep->epoll_fd);
     ep->wake_fd = ep->epoll_fd = -1;
-    {
-      MutexLock lock(ep->mu);
-      ep->cv.notify_all();
+    // Readers are gone, so nothing publishes new deliveries; the shards
+    // drain whatever is still queued before their consumers exit.
+    for (auto& shard : ep->shards) shard->stop();
+    for (auto& t : ep->mailbox_threads) {
+      if (t.joinable()) t.join();
     }
-    if (ep->mailbox_thread.joinable()) ep->mailbox_thread.join();
   }
 }
 
 void TcpNetwork::enqueue(Endpoint* ep, std::function<void()> fn) {
-  MutexLock lock(ep->mu);
-  const bool was_idle = ep->items.empty();
-  ep->items.push_back(std::move(fn));
-  // Transition-only wake: a non-empty queue means the mailbox thread is
-  // mid-batch and re-checks before waiting.
-  if (was_idle) ep->cv.notify_one();
+  // Tasks (on_start, post, timer fires) always run on shard 0 so they keep
+  // the single-context guarantee protocol clients rely on.
+  if (ep->shards[0]->push_item(
+          runtime::MailItem{nullptr, {}, std::move(fn)})) {
+    metrics_.on_mailbox_overflow();
+  }
 }
 
-void TcpNetwork::enqueue_batch(Endpoint* ep, std::vector<net::Envelope> batch) {
+void TcpNetwork::deliver(Endpoint* ep, net::Envelope env) {
   net::IProcess* proc = ep->process;
-  enqueue(ep, [proc, b = std::move(batch)] {
-    for (const net::Envelope& env : b) proc->on_message(env);
-  });
+  // shard_of runs on the reader thread by contract (pure function of the
+  // envelope); the modulo keeps a buggy override in range.
+  uint32_t shard = 0;
+  if (ep->shards.size() > 1) {
+    shard = proc->shard_of(env) % static_cast<uint32_t>(ep->shards.size());
+  }
+  if (ep->shards[shard]->push_item(
+          runtime::MailItem{proc, std::move(env), nullptr})) {
+    metrics_.on_mailbox_overflow();
+  }
 }
 
-void TcpNetwork::mailbox_loop(Endpoint* ep) {
-  std::deque<std::function<void()>> work;
-  for (;;) {
-    work.clear();
-    {
-      MutexLock lock(ep->mu);
-      while (ep->items.empty() && running_.load()) ep->cv.wait(lock);
-      if (ep->items.empty()) return;
-      work.swap(ep->items);
+void TcpNetwork::mailbox_loop(runtime::MailboxShard* shard) {
+  auto handle = [](runtime::MailItem& item) {
+    if (item.proc != nullptr) {
+      item.proc->on_message(item.env);
+    } else if (item.fn) {
+      item.fn();
     }
-    for (auto& fn : work) fn();
+  };
+  while (shard->pop_wait_consume(handle)) {
   }
 }
 
@@ -274,8 +293,6 @@ void TcpNetwork::mailbox_loop(Endpoint* ep) {
 
 void TcpNetwork::reader_loop(Endpoint* ep) {
   std::map<int, ConnState> conns;
-  std::vector<net::Envelope> batch;
-  size_t batch_bytes = 0;
   epoll_event evs[kMaxEvents];
 
   for (;;) {
@@ -285,7 +302,6 @@ void TcpNetwork::reader_loop(Endpoint* ep) {
       break;
     }
     if (!running_.load()) break;
-    batch.clear();
     for (int i = 0; i < n; ++i) {
       const int fd = evs[i].data.fd;
       if (fd == ep->wake_fd) {
@@ -302,28 +318,16 @@ void TcpNetwork::reader_loop(Endpoint* ep) {
         // Raced with accept: state created on first readiness.
         it = conns.emplace(fd, ConnState{}).first;
       }
-      const size_t appended_from = batch.size();
-      if (!conn_readable(ep, fd, it->second, &batch)) {
+      // conn_readable publishes every parsed frame straight into its
+      // shard's ring (deliver()), so the handler thread drains while we
+      // keep reading and freed chunks recycle into the pool continuously
+      // -- the old whole-batch hand-off could pin tens of chunks across
+      // one readiness wake.
+      if (!conn_readable(ep, fd, it->second)) {
         close_conn(ep, fd);
         conns.erase(it);
       }
-      for (size_t b = appended_from; b < batch.size(); ++b) {
-        batch_bytes += batch[b].payload.size();
-      }
-      // Flush mid-wake once a batch holds a lot of payload: the handler
-      // thread starts sooner and its freed chunks recycle into the pool
-      // while we keep reading (matters for multi-MiB frames, where one
-      // wake can otherwise pin tens of chunks in one batch).
-      if (batch_bytes >= kBatchFlushBytes) {
-        enqueue_batch(ep, std::move(batch));
-        batch = {};
-        batch_bytes = 0;
-      }
     }
-    // One mailbox signal per readiness wake, however many frames arrived.
-    if (!batch.empty()) enqueue_batch(ep, std::move(batch));
-    batch = {};
-    batch_bytes = 0;
   }
 
   for (auto& [fd, st] : conns) close_conn(ep, fd);
@@ -356,8 +360,7 @@ void TcpNetwork::close_conn(Endpoint* ep, int fd) {
   std::erase(ep->conn_fds, fd);
 }
 
-bool TcpNetwork::conn_readable(Endpoint* ep, int fd, ConnState& st,
-                               std::vector<net::Envelope>* batch) {
+bool TcpNetwork::conn_readable(Endpoint* ep, int fd, ConnState& st) {
   for (;;) {
     if (!ensure_recv_space(ep, st)) return false;
     Chunk& c = *st.chunk;
@@ -365,7 +368,7 @@ bool TcpNetwork::conn_readable(Endpoint* ep, int fd, ConnState& st,
         ::recv(fd, c.data.get() + c.filled, c.cap - c.filled, 0);
     if (r > 0) {
       c.filled += static_cast<size_t>(r);
-      if (!parse_frames(ep, st, batch)) return false;
+      if (!parse_frames(ep, st)) return false;
       continue;  // drain until EAGAIN; level-triggered epoll backs us up
     }
     if (r == 0) return false;  // peer closed
@@ -451,11 +454,11 @@ bool TcpNetwork::ensure_recv_space(Endpoint* ep, ConnState& st) {
   return true;
 }
 
-/// Parses every complete frame at parse_pos, appending envelopes whose
-/// payloads alias the chunk. Returns false to kill the connection (corrupt
-/// framing); forged MACs only drop the frame.
-bool TcpNetwork::parse_frames(Endpoint* ep, ConnState& st,
-                              std::vector<net::Envelope>* batch) {
+/// Parses every complete frame at parse_pos, publishing envelopes whose
+/// payloads alias the chunk straight into their delivery shard. Returns
+/// false to kill the connection (corrupt framing); forged MACs only drop
+/// the frame.
+bool TcpNetwork::parse_frames(Endpoint* ep, ConnState& st) {
   Chunk& c = *st.chunk;
   for (;;) {
     const size_t avail = c.filled - st.parse_pos;
@@ -486,7 +489,7 @@ bool TcpNetwork::parse_frames(Endpoint* ep, ConnState& st,
     env.to = to;
     env.mac = mac;
     env.payload = Payload(st.chunk, payload);
-    batch->push_back(std::move(env));
+    deliver(ep, std::move(env));
   }
 }
 

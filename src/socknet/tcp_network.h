@@ -23,10 +23,13 @@
 //             thread-per-connection) reads into large refcounted chunks,
 //             parses frames in place, and delivers payload *views* aliasing
 //             the chunk (common/buffer.h) -- zero payload copies between
-//             the kernel and the handler. All messages parsed in one
-//             readiness wake are handed to the mailbox as one batch, so the
-//             handler thread is signalled once per wake, not once per
-//             message.
+//             the kernel and the handler. Each parsed envelope is published
+//             straight into the destination shard's lock-free MPSC ring
+//             (runtime/mailbox.h): no per-wake closure allocation, no
+//             mailbox mutex on the hot path, and the handler thread starts
+//             draining while the reader is still parsing. Idle handler
+//             threads are futex-parked and woken at most once per
+//             empty->non-empty transition.
 //
 // Scope: single-host loopback (the offline build environment has no
 // external network). The wire format is position-independent, so pointing
@@ -49,6 +52,7 @@
 #include "common/types.h"
 #include "crypto/auth.h"
 #include "net/transport.h"
+#include "runtime/mailbox.h"
 
 namespace bftreg::socknet {
 
@@ -193,10 +197,10 @@ class TcpNetwork final : public net::Transport {
 
   void reader_loop(Endpoint* ep);
   void writer_loop(Endpoint* ep);
-  void mailbox_loop(Endpoint* ep);
+  void mailbox_loop(runtime::MailboxShard* shard);
   void timer_loop() EXCLUDES(timer_mu_);
   void enqueue(Endpoint* ep, std::function<void()> fn);
-  void enqueue_batch(Endpoint* ep, std::vector<net::Envelope> batch);
+  void deliver(Endpoint* ep, net::Envelope env);
   int connect_to(const ProcessId& to);
   Endpoint* find(const ProcessId& pid);
   const Endpoint* find(const ProcessId& pid) const;
@@ -204,10 +208,8 @@ class TcpNetwork final : public net::Transport {
 
   // Reader-thread helpers (all private to `ep`'s reader thread).
   void accept_ready(Endpoint* ep);
-  bool conn_readable(Endpoint* ep, int fd, ConnState& st,
-                     std::vector<net::Envelope>* batch);
-  bool parse_frames(Endpoint* ep, ConnState& st,
-                    std::vector<net::Envelope>* batch);
+  bool conn_readable(Endpoint* ep, int fd, ConnState& st);
+  bool parse_frames(Endpoint* ep, ConnState& st);
   bool ensure_recv_space(Endpoint* ep, ConnState& st);
   static std::shared_ptr<Chunk> acquire_chunk(Endpoint* ep, size_t min_cap);
   void close_conn(Endpoint* ep, int fd);

@@ -37,6 +37,11 @@ class PersistentRegisterServer final : public registers::RegisterServer {
 
   const WriteAheadLog& wal() const { return wal_; }
 
+  /// Durable servers stay single-shard regardless of config: every applied
+  /// put appends to one WAL, and a per-shard dispatch would interleave
+  /// appends from several threads into an unsynchronized log.
+  uint32_t delivery_shards() const override { return 1; }
+
  protected:
   bool apply_put(uint32_t object, const Tag& tag, Bytes value) override;
 

@@ -598,6 +598,79 @@ TEST(LintProgram, WholeProgramFindingsAreWaivable) {
   EXPECT_FALSE(has_rule(lint_program(files), "lock-order-undeclared"));
 }
 
+TEST(LintAtomicInRing, ImplicitOrderFlaggedInScope) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/runtime/mailbox.h", "bool v = stopped_.load();\n"),
+      "atomic-in-ring"));
+  EXPECT_TRUE(has_rule(lint_content("src/common/mpsc_ring.h",
+                                    "slot.seq.store(pos + 1);\n"),
+                       "atomic-in-ring"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/runtime/thread_network.cpp",
+                   "next_seq_.fetch_add(1);\n"),
+      "atomic-in-ring"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/common/seqlock.h", "active_.exchange(next);\n"),
+      "atomic-in-ring"));
+}
+
+TEST(LintAtomicInRing, ExplicitOrderSatisfiesRule) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/runtime/mailbox.h",
+                   "bool v = stopped_.load(std::memory_order_acquire);\n"),
+      "atomic-in-ring"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/common/mpsc_ring.h",
+                   "slot.seq.store(pos + 1, std::memory_order_release);\n"),
+      "atomic-in-ring"));
+  EXPECT_FALSE(has_rule(
+      lint_content(
+          "src/runtime/thread_network.cpp",
+          "head_.compare_exchange_weak(pos, pos + 1,\n"
+          "                            std::memory_order_relaxed,\n"
+          "                            std::memory_order_relaxed);\n"),
+      "atomic-in-ring"));
+}
+
+TEST(LintAtomicInRing, MultiLineCallScannedAcrossWrap) {
+  // The order argument lands on a later line; paren-balanced look-ahead
+  // must find it before flagging.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/runtime/mailbox.h",
+                   "spilled_.store(true,\n"
+                   "               std::memory_order_release);\n"),
+      "atomic-in-ring"));
+  // Still flagged when the wrapped call never names an order.
+  EXPECT_TRUE(has_rule(lint_content("src/runtime/mailbox.h",
+                                    "spilled_.store(\n"
+                                    "    some_long_expression_value);\n"),
+               "atomic-in-ring"));
+}
+
+TEST(LintAtomicInRing, OutOfScopeAndNonAtomicNamesExempt) {
+  // Same code outside the delivery path: other layers may take the
+  // seq_cst default.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/socknet/tcp_network.cpp", "running_.load();\n"),
+      "atomic-in-ring"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/registers/server.cpp", "puts_applied_.fetch_add(1);\n"),
+      "atomic-in-ring"));
+  // Non-atomic member names that merely contain the words are untouched.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/runtime/thread_network.cpp",
+                   "object_store(object);\nreload(x);\n"),
+      "atomic-in-ring"));
+}
+
+TEST(LintAtomicInRing, WaiverHonored) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/runtime/mailbox.h",
+                   "// bftreg-lint: allow(atomic-in-ring) -- ordering moot\n"
+                   "bool v = stopped_.load();\n"),
+      "atomic-in-ring"));
+}
+
 TEST(LintSarif, GoldenDocument) {
   const std::vector<Violation> vs = {
       {"src/socknet/tcp_network.cpp", 42, "blocking-in-lock",
@@ -636,7 +709,9 @@ TEST(LintSarif, GoldenDocument) {
       "        {\"id\": \"serde-symmetry\", \"shortDescription\": {\"text\": "
       "\"serialize/deserialize wire formats drifted apart\"}},\n"
       "        {\"id\": \"unchecked-result\", \"shortDescription\": {\"text\": "
-      "\"discarded Result<T> return value\"}}\n"
+      "\"discarded Result<T> return value\"}},\n"
+      "        {\"id\": \"atomic-in-ring\", \"shortDescription\": {\"text\": "
+      "\"implicit seq_cst atomic access in the lock-free delivery path\"}}\n"
       "      ]\n"
       "    }},\n"
       "    \"results\": [\n"

@@ -304,5 +304,172 @@ TEST(ServerMaxOnlyTest, DropsNonIncreasingTags) {
   EXPECT_EQ(probe.received.size(), 3u);  // all three ACKed regardless
 }
 
+// --- sharded object table (SystemConfig::server_shards) ---------------------
+
+class ShardedServerFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kShards = 4;
+
+  ShardedServerFixture()
+      : sim_(sim::SimConfig::with_fixed_delay(1, 10)),
+        server_(ProcessId::server(0), make_config(), &sim_, Bytes{'v', '0'}) {
+    sim_.add_process(ProcessId::server(0), &server_);
+    sim_.add_process(writer_, &probe_);
+  }
+
+  static SystemConfig make_config() {
+    SystemConfig c;
+    c.n = 5;
+    c.f = 1;
+    c.initial_value = Bytes{'v', '0'};
+    c.server_shards = kShards;
+    return c;
+  }
+
+  void send(const RegisterMessage& msg) {
+    sim_.send(writer_, ProcessId::server(0), msg.encode());
+    sim_.run_until_idle();
+  }
+
+  void put(uint32_t object, Tag tag, Bytes value) {
+    RegisterMessage m;
+    m.type = MsgType::kPutData;
+    m.object = object;
+    m.tag = tag;
+    m.value = std::move(value);
+    send(m);
+  }
+
+  sim::Simulator sim_;
+  RegisterServer server_;
+  ProcessId writer_ = ProcessId::writer(0);
+  ClientProbe probe_;
+};
+
+TEST_F(ShardedServerFixture, ReportsOneDeliveryShardPerConfigShard) {
+  EXPECT_EQ(server_.delivery_shards(), kShards);
+}
+
+TEST_F(ShardedServerFixture, ShardOfPeeksObjectConsistently) {
+  // Same object -> same shard regardless of message type; every shard in
+  // range; the mapping spreads sequential ids across more than one shard.
+  std::vector<uint32_t> seen;
+  for (uint32_t object = 0; object < 32; ++object) {
+    RegisterMessage q;
+    q.type = MsgType::kQueryTag;
+    q.object = object;
+    net::Envelope env;
+    env.payload = Payload(q.encode());
+    const uint32_t shard = server_.shard_of(env);
+    ASSERT_LT(shard, kShards);
+    seen.push_back(shard);
+
+    RegisterMessage p;
+    p.type = MsgType::kPutData;
+    p.object = object;
+    p.value = Bytes{'x'};
+    net::Envelope put_env;
+    put_env.payload = Payload(p.encode());
+    EXPECT_EQ(server_.shard_of(put_env), shard) << "object " << object;
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  EXPECT_GT(seen.size(), 1u);  // hash actually distributes
+}
+
+TEST_F(ShardedServerFixture, MalformedPayloadRoutesToShardZero) {
+  net::Envelope env;
+  env.payload = Payload(Bytes{1, 2, 3});  // shorter than the fixed prefix
+  EXPECT_EQ(server_.shard_of(env), 0u);
+}
+
+TEST_F(ShardedServerFixture, PutsAndQueriesSpanShards) {
+  constexpr uint32_t kObjects = 24;
+  for (uint32_t object = 0; object < kObjects; ++object) {
+    put(object, Tag{object + 1, writer_}, Bytes{static_cast<uint8_t>(object)});
+  }
+  EXPECT_EQ(server_.objects_known(), kObjects);
+  for (uint32_t object = 0; object < kObjects; ++object) {
+    EXPECT_EQ(server_.max_tag(object), (Tag{object + 1, writer_}));
+    EXPECT_EQ(server_.max_value(object), Bytes{static_cast<uint8_t>(object)});
+  }
+
+  probe_.received.clear();
+  RegisterMessage q;
+  q.type = MsgType::kQueryData;
+  q.object = 17;
+  q.op_id = 42;
+  send(q);
+  ASSERT_EQ(probe_.received.size(), 1u);
+  EXPECT_EQ(probe_.received[0].type, MsgType::kDataResp);
+  EXPECT_EQ(probe_.received[0].tag, (Tag{18, writer_}));
+  EXPECT_EQ(probe_.received[0].value, (Bytes{17}));
+}
+
+TEST_F(ShardedServerFixture, BatchReadsAcrossShardOwners) {
+  put(3, Tag{1, writer_}, Bytes{'a'});
+  put(9, Tag{2, writer_}, Bytes{'b'});
+  put(14, Tag{3, writer_}, Bytes{'c'});
+
+  probe_.received.clear();
+  RegisterMessage q;
+  q.type = MsgType::kQueryDataBatch;
+  q.op_id = 7;
+  q.objects = {3, 9, 14, 1000};  // 1000: never seen, reads as lazy init
+  send(q);
+  ASSERT_EQ(probe_.received.size(), 1u);
+  const auto& resp = probe_.received[0];
+  EXPECT_EQ(resp.type, MsgType::kDataBatchResp);
+  ASSERT_EQ(resp.history.size(), 4u);
+  EXPECT_EQ(resp.history[0].value, (Bytes{'a'}));
+  EXPECT_EQ(resp.history[1].value, (Bytes{'b'}));
+  EXPECT_EQ(resp.history[2].value, (Bytes{'c'}));
+  EXPECT_EQ(resp.history[3].tag, Tag::initial());
+  EXPECT_EQ(resp.history[3].value, (Bytes{'v', '0'}));
+  // The never-seen object was answered without materializing state.
+  EXPECT_EQ(server_.objects_known(), 4u);  // 0 (default), 3, 9, 14
+}
+
+TEST_F(ShardedServerFixture, OversizeValuesRoundTripThroughCache) {
+  // Values past NewestCache::kInlineValueCap take the shared_ptr path.
+  Bytes big(NewestCache::kInlineValueCap + 500, uint8_t{0xAB});
+  put(5, Tag{1, writer_}, big);
+
+  probe_.received.clear();
+  RegisterMessage q;
+  q.type = MsgType::kQueryData;
+  q.object = 5;
+  send(q);
+  ASSERT_EQ(probe_.received.size(), 1u);
+  EXPECT_EQ(probe_.received[0].value, big);
+
+  // Shrink back under the cap: the inline path must supersede the pointer.
+  put(5, Tag{2, writer_}, Bytes{'s'});
+  probe_.received.clear();
+  send(q);
+  ASSERT_EQ(probe_.received.size(), 1u);
+  EXPECT_EQ(probe_.received[0].tag, (Tag{2, writer_}));
+  EXPECT_EQ(probe_.received[0].value, (Bytes{'s'}));
+}
+
+TEST_F(ShardedServerFixture, StoredBytesTracksAcrossShards) {
+  const size_t initial = server_.stored_bytes();  // object 0's lazy init
+  put(1, Tag{1, writer_}, Bytes(100, 'x'));
+  put(2, Tag{1, writer_}, Bytes(50, 'y'));
+  // Each first put materializes {t0, v0} (2 bytes) plus the value.
+  EXPECT_EQ(server_.stored_bytes(), initial + 2 + 100 + 2 + 50);
+}
+
+TEST(ServerConfigTest, BuilderRejectsZeroShards) {
+  auto result = SystemConfig::builder().n(5).f(1).server_shards(0).build();
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ServerConfigTest, BuilderAcceptsShardCount) {
+  auto result = SystemConfig::builder().n(5).f(1).server_shards(8).build_for_bsr();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().server_shards, 8u);
+}
+
 }  // namespace
 }  // namespace bftreg::registers

@@ -12,7 +12,8 @@
 //                              points keyed by (protocol, depth), metric
 //                              ops_per_ms of the pipelined client.
 //   bftreg-bench-transport-v1  written by `bench_transport --json=PATH`;
-//                              points keyed by (transport, size, fanin),
+//                              points keyed by (transport, size, fanin)
+//                              plus "/shards=N" for shard-sweep rows,
 //                              metrics msgs_per_sec and mbps of the raw
 //                              data plane.
 //
@@ -99,9 +100,17 @@ bool load(const std::string& path, PointMap* out, std::string* schema) {
       const std::string transport = find_string(obj, "transport");
       const double size = find_number(obj, "size");
       if (transport.empty() || size < 0) continue;
-      std::snprintf(key, sizeof(key), "transport=%s/size=%d/fanin=%d",
-                    transport.c_str(), static_cast<int>(size),
-                    static_cast<int>(find_number(obj, "fanin")));
+      int len = std::snprintf(key, sizeof(key), "transport=%s/size=%d/fanin=%d",
+                              transport.c_str(), static_cast<int>(size),
+                              static_cast<int>(find_number(obj, "fanin")));
+      // Shard-sweep rows carry an extra "shards" field; base-grid rows omit
+      // it so their keys keep matching baselines written before the sweep
+      // existed.
+      const double shards = find_number(obj, "shards");
+      if (shards > 0 && len > 0 && static_cast<size_t>(len) < sizeof(key)) {
+        std::snprintf(key + len, sizeof(key) - static_cast<size_t>(len),
+                      "/shards=%d", static_cast<int>(shards));
+      }
       p["msgs_per_sec"] = find_number(obj, "msgs_per_sec");
       p["mbps"] = find_number(obj, "mbps");
     } else {

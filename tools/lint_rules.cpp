@@ -79,6 +79,43 @@ const std::regex kOrderedMutex(
 // `x.busy()` / `p->busy()` -- the single-operation guard of the low-level
 // protocol clients.
 const std::regex kBusyCall(R"((\.|->)\s*busy\s*\(\s*\))");
+// Atomic member-function calls whose default memory order is seq_cst. The
+// paren is part of the match so the argument scan knows where to start.
+const std::regex kAtomicOp(
+    R"((\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_or|fetch_and|compare_exchange_weak|compare_exchange_strong)\s*\()");
+
+/// Files the atomic-in-ring rule covers: the lock-free delivery path, where
+/// every atomic access is part of a documented protocol and an implicit
+/// seq_cst hides the synchronization argument (and costs a full fence on
+/// weakly-ordered targets).
+bool atomic_order_scoped(const std::string& rel_path) {
+  return rel_path.rfind("src/runtime/", 0) == 0 ||
+         rel_path == "src/common/mpsc_ring.h" ||
+         rel_path == "src/common/seqlock.h";
+}
+
+/// Argument text of a call whose opening paren sits at (line `idx`, column
+/// `open`) of the comment-stripped lines; bounded look-ahead covers calls
+/// broken across lines by clang-format.
+std::string call_args(const std::vector<std::string>& code_lines, size_t idx,
+                      size_t open) {
+  std::string args;
+  int depth = 0;
+  for (size_t l = idx; l < code_lines.size() && l < idx + 6; ++l) {
+    const std::string& line = code_lines[l];
+    for (size_t c = (l == idx ? open : 0); c < line.size(); ++c) {
+      const char ch = line[c];
+      if (ch == '(') {
+        if (++depth == 1) continue;
+      } else if (ch == ')') {
+        if (--depth == 0) return args;
+      }
+      args += ch;
+    }
+    args += ' ';
+  }
+  return args;  // unbalanced within the budget; scan what we collected
+}
 
 /// Reduces a lock expression to the bare member name the order edges use:
 /// `box->mu` -> `mu`, `this->sched_mu_` -> `sched_mu_`, `*ep->mu` -> `mu`.
@@ -710,6 +747,23 @@ void line_rules(const std::string& rel_path, const Prepared& p,
            "(use bsr_min_servers/bcsr_min_servers/rb_min_servers/"
            "bcsr_code_dimension)");
     }
+    if (atomic_order_scoped(rel_path)) {
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), kAtomicOp);
+           it != std::sregex_iterator(); ++it) {
+        const std::smatch& am = *it;
+        const size_t open =
+            static_cast<size_t>(am.position(0)) + am.length(0) - 1;
+        if (call_args(p.code_lines, i, open).find("memory_order") ==
+            std::string::npos) {
+          flag(i, "atomic-in-ring",
+               "atomic " + am[2].str() +
+                   "() without an explicit memory order in the lock-free "
+                   "delivery path; the default seq_cst hides the "
+                   "synchronization argument -- name the order the protocol "
+                   "comment justifies (see src/common/mpsc_ring.h)");
+        }
+      }
+    }
   }
 }
 
@@ -1252,6 +1306,8 @@ constexpr RuleMeta kRuleCatalog[] = {
      "observed acquisition order with no declared edge"},
     {"serde-symmetry", "serialize/deserialize wire formats drifted apart"},
     {"unchecked-result", "discarded Result<T> return value"},
+    {"atomic-in-ring",
+     "implicit seq_cst atomic access in the lock-free delivery path"},
 };
 
 }  // namespace

@@ -80,6 +80,16 @@
 //                       with the value. Mirrors the [[nodiscard]] attribute
 //                       on Result so the linter and the compiler agree
 //                       (and so non-compiled snippets are covered too).
+//   atomic-in-ring      an atomic load/store/exchange/fetch_*/
+//                       compare_exchange_* without an explicit
+//                       memory_order argument inside the lock-free
+//                       delivery path (src/runtime/**, common/mpsc_ring.h,
+//                       common/seqlock.h). Those files carry a written
+//                       memory-order argument per access; an implicit
+//                       seq_cst both hides which ordering the proof relies
+//                       on and costs a full fence on weakly-ordered
+//                       targets. Multi-line calls are handled by a bounded
+//                       paren-balanced look-ahead.
 //
 // A finding can be waived by putting `bftreg-lint: allow(<rule>)` in a
 // comment on the offending line or the line directly above it, with a
