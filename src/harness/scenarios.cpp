@@ -1,6 +1,9 @@
 #include "harness/scenarios.h"
 
+#include <cassert>
 #include <string>
+
+#include "storage/persistent_server.h"
 
 namespace bftreg::harness {
 
@@ -68,6 +71,8 @@ Bytes run_theorem5_schedule(SimCluster& cluster) {
     };
   };
 
+  // "The last f servers" of the proof schedule: index arithmetic, not a
+  // quorum size. bftreg-lint: allow(quorum-arithmetic)
   delay.set_hook(withhold_put(0, n - f, n));
   cluster.write(0, Bytes{'v', '1'});
   cluster.sim().run_until_time(cluster.sim().now() + 100'000);
@@ -77,6 +82,8 @@ Bytes run_theorem5_schedule(SimCluster& cluster) {
   cluster.sim().run_until_time(cluster.sim().now() + 100'000);
 
   delay.set_hook([n, f](const net::Envelope& env) -> std::optional<TimeNs> {
+    // Schedule index range, not a quorum size: the read hears nothing
+    // from the last f servers. bftreg-lint: allow(quorum-arithmetic)
     if (env.from.is_server() && env.from.index >= n - f &&
         env.to.role == Role::kReader) {
       return TimeNs{1'000'000'000};
@@ -109,6 +116,65 @@ registers::ReadResult run_theorem3_schedule(SimCluster& cluster) {
   const uint64_t rid = cluster.start_read(0);
   cluster.await(rid);
   return cluster.read_result(rid);
+}
+
+// --- churn schedules ---------------------------------------------------------
+
+uint64_t schedule_seed(const std::string& name, uint64_t base_seed) {
+  return fnv1a64(name.data(), name.size()) ^ base_seed;
+}
+
+ChurnOutcome run_churn_schedule(SimCluster& cluster,
+                                const adversary::ChurnSchedule& schedule) {
+  cluster.start();
+  ChurnOutcome out;
+  out.seed = schedule_seed(schedule.name, cluster.options().seed);
+  // Reseed the scenario RNG (delay draws AND the write values below): from
+  // here on the execution is a pure function of (schedule name, base seed),
+  // whatever ran on this simulator before.
+  cluster.sim().rng().reseed(out.seed);
+  Rng values(out.seed * 0x9E3779B97F4A7C15ULL + 1);
+
+  const TimeNs t0 = cluster.sim().now();
+  std::vector<size_t> restarted;
+  for (const auto& step : schedule.steps) {
+    cluster.sim().run_until_time(t0 + step.at);
+    switch (step.action) {
+      case adversary::ChurnAction::kCrash:
+        cluster.crash_server(step.index);
+        break;
+      case adversary::ChurnAction::kRestart:
+        cluster.restart_server(step.index);
+        restarted.push_back(step.index);
+        break;
+      case adversary::ChurnAction::kStartWrite: {
+        Bytes value(8);
+        const uint64_t v = values.next_u64();
+        for (size_t b = 0; b < value.size(); ++b) {
+          value[b] = static_cast<uint8_t>(v >> (8 * b));
+        }
+        out.write_ids.push_back(cluster.start_write(step.index, std::move(value)));
+        break;
+      }
+      case adversary::ChurnAction::kStartRead:
+        out.read_ids.push_back(cluster.start_read(step.index));
+        break;
+    }
+  }
+  for (const uint64_t id : out.write_ids) cluster.await(id);
+  for (const uint64_t id : out.read_ids) cluster.await(id);
+
+  // Drive the catch-up state machines to completion and collect the proof
+  // counters: requests a recovering server received were dropped, never
+  // answered.
+  for (const size_t index : restarted) {
+    auto* srv = cluster.persistent_server(index);
+    assert(srv != nullptr);
+    const bool ok = cluster.sim().run_until([srv] { return srv->is_serving(); });
+    out.recovered_serving = out.recovered_serving && ok;
+    out.refused_during_catch_up += srv->refused_while_catching_up();
+  }
+  return out;
 }
 
 }  // namespace bftreg::harness

@@ -1,11 +1,16 @@
 // Scripted executions from the paper's proofs, packaged for reuse by
-// tests, examples and the resilience benches.
+// tests, examples and the resilience benches. Also the interpreter for the
+// declarative churn schedules (adversary/churn.h).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "adversary/byzantine_server.h"
+#include "adversary/churn.h"
 #include "harness/sim_cluster.h"
 
 namespace bftreg::harness {
@@ -35,5 +40,35 @@ Bytes run_theorem5_schedule(SimCluster& cluster);
 /// PUT-DATA reaches only "their" server; the read then runs. Plain BSR
 /// returns v0 (regularity violation); the history/2R variants return v1.
 registers::ReadResult run_theorem3_schedule(SimCluster& cluster);
+
+// --- churn schedules ---------------------------------------------------------
+
+/// Deterministic per-schedule seed: fnv1a64 over the schedule NAME, xored
+/// with the cluster's base seed. ctest may shuffle test order (and earlier
+/// operations advance a shared RNG's state), so run_churn_schedule reseeds
+/// the scenario RNG from this value -- a failing schedule then replays
+/// bit-identically from (name, base seed) alone, in any test order.
+uint64_t schedule_seed(const std::string& name, uint64_t base_seed);
+
+/// What a churn schedule run observed; the caller feeds the cluster's
+/// recorder to checker::consistency afterwards.
+struct ChurnOutcome {
+  /// The reseed actually applied (schedule_seed of name x base).
+  uint64_t seed{0};
+  /// Recorder ids of the writes/reads the schedule started (all awaited).
+  std::vector<uint64_t> write_ids;
+  std::vector<uint64_t> read_ids;
+  /// Requests the recovering server(s) dropped while catching up, summed.
+  uint64_t refused_during_catch_up{0};
+  /// Every restarted server finished catch-up and is serving again.
+  bool recovered_serving{true};
+};
+
+/// Interprets `schedule` against `cluster` (requires options.wal_dir for
+/// kRestart steps): reseeds the scenario RNG via schedule_seed, applies
+/// each step at its virtual-time offset, awaits every started operation,
+/// and drives the simulator until all restarted servers serve again.
+ChurnOutcome run_churn_schedule(SimCluster& cluster,
+                                const adversary::ChurnSchedule& schedule);
 
 }  // namespace bftreg::harness

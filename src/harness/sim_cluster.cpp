@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "storage/persistent_server.h"
+
 namespace bftreg::harness {
 
 using registers::ReadResult;
@@ -57,16 +59,27 @@ Bytes SimCluster::initial_for_server(size_t index) const {
   return options_.config.initial_value;
 }
 
+std::string SimCluster::wal_path(size_t index) const {
+  return options_.wal_dir + "/server-" + std::to_string(index) + ".wal";
+}
+
 void SimCluster::build() {
   const auto& cfg = options_.config;
 
   servers_.resize(cfg.n);
   honest_servers_.assign(cfg.n, nullptr);
+  persistent_servers_.assign(cfg.n, nullptr);
   for (size_t i = 0; i < cfg.n; ++i) {
     const ProcessId pid = ProcessId::server(static_cast<uint32_t>(i));
     if (options_.protocol == Protocol::kRb) {
       servers_[i] = std::make_unique<registers::RbServer>(pid, cfg, sim_.get(),
                                                           initial_for_server(i));
+    } else if (!options_.wal_dir.empty()) {
+      auto srv = std::make_unique<storage::PersistentRegisterServer>(
+          pid, cfg, sim_.get(), initial_for_server(i), wal_path(i));
+      honest_servers_[i] = srv.get();
+      persistent_servers_[i] = srv.get();
+      servers_[i] = std::move(srv);
     } else {
       auto srv = std::make_unique<registers::RegisterServer>(pid, cfg, sim_.get(),
                                                              initial_for_server(i));
@@ -176,6 +189,7 @@ void SimCluster::set_byzantine(size_t index,
   servers_[index] =
       std::make_unique<adversary::ByzantineServer>(std::move(ctx), std::move(strategy));
   honest_servers_[index] = nullptr;
+  persistent_servers_[index] = nullptr;
 }
 
 void SimCluster::start() {
@@ -270,6 +284,48 @@ ReadResult SimCluster::read(size_t reader) {
 
 void SimCluster::crash_server(size_t index) {
   sim_->mark_crashed(ProcessId::server(static_cast<uint32_t>(index)));
+}
+
+void SimCluster::restart_server(size_t index) {
+  assert(!options_.wal_dir.empty() && "restart_server requires wal_dir");
+  assert(persistent_servers_[index] != nullptr &&
+         "restart_server only rejoins WAL-backed honest servers");
+  const ProcessId pid = ProcessId::server(static_cast<uint32_t>(index));
+  // Ensure the old object places no further messages, then retire it (kept
+  // alive until teardown; queued simulator closures may still run).
+  sim_->mark_crashed(pid);
+  retired_.push_back(std::move(servers_[index]));
+
+  // The replacement replays the surviving WAL in its constructor and comes
+  // up refusing register traffic (kCatchUpBeforeServe).
+  auto srv = std::make_unique<storage::PersistentRegisterServer>(
+      pid, options_.config, sim_.get(), initial_for_server(index),
+      wal_path(index), storage::RecoveryPolicy::kCatchUpBeforeServe);
+  auto* raw = srv.get();
+  honest_servers_[index] = raw;
+  persistent_servers_[index] = raw;
+  servers_[index] = std::move(srv);
+  sim_->add_process(pid, raw);  // overwrites the old registration
+  sim_->revive(pid);
+  sim_->post(pid, [raw] { raw->begin_catch_up(); });
+}
+
+storage::PersistentRegisterServer* SimCluster::persistent_server(size_t index) {
+  return persistent_servers_[index];
+}
+
+void SimCluster::announce_view(uint64_t epoch,
+                               const std::vector<uint32_t>& members) {
+  std::vector<ProcessId> recipients = options_.config.servers();
+  for (size_t i = 0; i < writers_.size(); ++i) recipients.push_back(writer_id(i));
+  for (size_t i = 0; i < readers_.size(); ++i) recipients.push_back(reader_id(i));
+  for (size_t i = 0; i < honest_servers_.size(); ++i) {
+    if (honest_servers_[i] == nullptr) continue;
+    if (sim_->is_crashed(ProcessId::server(static_cast<uint32_t>(i)))) continue;
+    honest_servers_[i]->broadcast_view(epoch, members, recipients);
+    return;
+  }
+  assert(false && "announce_view: no live honest server to announce from");
 }
 
 void SimCluster::crash_writer(size_t index) {

@@ -21,6 +21,10 @@
 #include "registers/registers.h"
 #include "sim/simulator.h"
 
+namespace bftreg::storage {
+class PersistentRegisterServer;
+}
+
 namespace bftreg::harness {
 
 enum class Protocol {
@@ -46,6 +50,10 @@ struct ClusterOptions {
   /// Base uniform message delay [lo, hi] in virtual ns.
   TimeNs delay_lo{500};
   TimeNs delay_hi{1500};
+  /// When non-empty, honest servers are WAL-backed PersistentRegisterServer
+  /// instances logging to `<wal_dir>/server-<i>.wal`, and restart_server()
+  /// becomes available (crash -> replay -> quorum catch-up -> rejoin).
+  std::string wal_dir{};
 };
 
 class SimCluster {
@@ -90,6 +98,25 @@ class SimCluster {
   void crash_server(size_t index);
   void crash_writer(size_t index);
 
+  // --- dynamic membership (requires options.wal_dir) -----------------------
+
+  /// Crash-and-rejoin: retires the server object at `index` (its WAL file
+  /// survives), constructs a recovered PersistentRegisterServer that replays
+  /// the WAL, registers it under the same pid, revives delivery, and posts
+  /// begin_catch_up(). The server refuses register traffic until it has
+  /// synced newest state from a quorum of peers; drive the simulator (or
+  /// await ops) to let the catch-up rounds complete.
+  void restart_server(size_t index);
+
+  /// The WAL-backed server at `index`; nullptr when wal_dir is unset or the
+  /// slot is Byzantine.
+  storage::PersistentRegisterServer* persistent_server(size_t index);
+
+  /// Has the lowest-indexed live honest server broadcast
+  /// VIEW-ANNOUNCE(epoch, members) to all servers and clients (an empty
+  /// member list means the full static set).
+  void announce_view(uint64_t epoch, const std::vector<uint32_t>& members);
+
   // --- access ---------------------------------------------------------------
 
   sim::Simulator& sim() { return *sim_; }
@@ -109,6 +136,7 @@ class SimCluster {
   struct ReaderSlot;
 
   Bytes initial_for_server(size_t index) const;
+  std::string wal_path(size_t index) const;
   void build();
 
   ClusterOptions options_;
@@ -117,6 +145,11 @@ class SimCluster {
 
   std::vector<std::unique_ptr<net::IProcess>> servers_;
   std::vector<registers::RegisterServer*> honest_servers_;  // parallel, may hold nullptr
+  /// Parallel typed view of servers_ when wal_dir is set (else nullptr).
+  std::vector<storage::PersistentRegisterServer*> persistent_servers_;
+  /// Replaced server objects, kept alive until teardown: simulator events
+  /// queued before a restart may still reference them.
+  std::vector<std::unique_ptr<net::IProcess>> retired_;
   std::vector<std::unique_ptr<WriterSlot>> writers_;
   std::vector<std::unique_ptr<ReaderSlot>> readers_;
 

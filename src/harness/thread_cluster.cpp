@@ -1,7 +1,12 @@
 #include "harness/thread_cluster.h"
 
 #include <cassert>
+#include <chrono>
 #include <future>
+#include <thread>
+
+#include "common/log.h"
+#include "storage/persistent_server.h"
 
 namespace bftreg::harness {
 
@@ -40,15 +45,25 @@ Bytes ThreadCluster::initial_for_server(size_t index) const {
   return options_.config.initial_value;
 }
 
+std::string ThreadCluster::wal_path(size_t index) const {
+  return options_.wal_dir + "/server-" + std::to_string(index) + ".wal";
+}
+
 void ThreadCluster::build() {
   const auto& cfg = options_.config;
 
   servers_.resize(cfg.n);
+  persistent_servers_.assign(cfg.n, nullptr);
   for (size_t i = 0; i < cfg.n; ++i) {
     const ProcessId pid = ProcessId::server(static_cast<uint32_t>(i));
     if (options_.protocol == Protocol::kRb) {
       servers_[i] = std::make_unique<registers::RbServer>(pid, cfg, net_.get(),
                                                           initial_for_server(i));
+    } else if (!options_.wal_dir.empty()) {
+      auto srv = std::make_unique<storage::PersistentRegisterServer>(
+          pid, cfg, net_.get(), initial_for_server(i), wal_path(i));
+      persistent_servers_[i] = srv.get();
+      servers_[i] = std::move(srv);
     } else {
       servers_[i] = std::make_unique<registers::RegisterServer>(
           pid, cfg, net_.get(), initial_for_server(i));
@@ -121,6 +136,52 @@ void ThreadCluster::build() {
   }
 }
 
+void ThreadCluster::restart_server(size_t index) {
+  assert(!options_.wal_dir.empty() && "restart_server requires wal_dir");
+  assert(started_.load() && "restart_server needs a running network");
+  storage::PersistentRegisterServer* old = persistent_servers_[index];
+  assert(old != nullptr && "restart_server only rejoins WAL-backed servers");
+  (void)old;
+  const ProcessId pid = ProcessId::server(static_cast<uint32_t>(index));
+
+  // Crash, then wait until no mailbox thread is inside the old server's
+  // handler: its last WAL append has fully returned, so the replay below
+  // reads a file no one is writing.
+  net_->mark_crashed(pid);
+  net_->quiesce(pid);
+  retired_.push_back(std::move(servers_[index]));
+
+  auto srv = std::make_unique<storage::PersistentRegisterServer>(
+      pid, options_.config, net_.get(), initial_for_server(index),
+      wal_path(index), storage::RecoveryPolicy::kCatchUpBeforeServe);
+  auto* raw = srv.get();
+  persistent_servers_[index] = raw;
+  servers_[index] = std::move(srv);
+  net_->replace_process(pid, raw);
+  net_->revive(pid);
+  net_->post(pid, [raw] { raw->begin_catch_up(); });
+
+  // Block until the catch-up state machine finishes (peers answer on their
+  // own mailbox threads). Bounded: a wedged catch-up should fail the drill
+  // loudly, not hang the suite.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!raw->is_serving()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      LOG_ERROR << "restart_server(" << index
+                << "): quorum catch-up did not complete within 30s";
+      assert(false && "restart_server: catch-up timed out");
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+storage::PersistentRegisterServer* ThreadCluster::persistent_server(
+    size_t index) {
+  return persistent_servers_[index];
+}
+
 void ThreadCluster::set_byzantine(size_t index, adversary::StrategyKind kind) {
   assert(!started_.load() && "set_byzantine must precede start()");
   adversary::ServerContext ctx;
@@ -131,6 +192,7 @@ void ThreadCluster::set_byzantine(size_t index, adversary::StrategyKind kind) {
   ctx.rng = Rng(options_.seed * 7919 + index);
   servers_[index] = std::make_unique<adversary::ByzantineServer>(
       std::move(ctx), adversary::make_strategy(kind, options_.seed + index));
+  persistent_servers_[index] = nullptr;
 }
 
 void ThreadCluster::start() {

@@ -35,6 +35,9 @@ struct ThreadClusterOptions {
   /// Artificial one-way delay range in wall nanoseconds (0 = none).
   TimeNs delay_lo{0};
   TimeNs delay_hi{0};
+  /// When non-empty, honest servers are WAL-backed (logging to
+  /// `<wal_dir>/server-<i>.wal`) and restart_server() becomes available.
+  std::string wal_dir{};
 };
 
 class ThreadCluster {
@@ -63,6 +66,19 @@ class ThreadCluster {
   registers::WriteResult write(size_t writer, Bytes value);
   registers::ReadResult read(size_t reader);
 
+  /// Crash-and-rejoin under live traffic (requires options.wal_dir; the
+  /// network must be started). Marks the server crashed, quiesces its
+  /// mailbox threads (so WAL replay cannot race a half-run handler), swaps
+  /// in a recovered server (kCatchUpBeforeServe), revives delivery, and
+  /// BLOCKS until quorum catch-up completes and the server is serving
+  /// again. Call from an external (non-mailbox) thread only -- same
+  /// contract as stop().
+  void restart_server(size_t index);
+
+  /// The WAL-backed server at `index`; nullptr when wal_dir is unset or
+  /// the slot is Byzantine.
+  storage::PersistentRegisterServer* persistent_server(size_t index);
+
   runtime::ThreadNetwork& net() { return *net_; }
   const ThreadClusterOptions& options() const { return options_; }
 
@@ -71,12 +87,18 @@ class ThreadCluster {
   struct ReaderSlot;
 
   Bytes initial_for_server(size_t index) const;
+  std::string wal_path(size_t index) const;
   void build();
   void start_impl();
 
   ThreadClusterOptions options_;
   std::unique_ptr<runtime::ThreadNetwork> net_;
   std::vector<std::unique_ptr<net::IProcess>> servers_;
+  /// Parallel typed view of servers_ when wal_dir is set (else nullptr).
+  std::vector<storage::PersistentRegisterServer*> persistent_servers_;
+  /// Replaced server objects, kept alive until teardown: in-flight
+  /// MailItems may still carry their (never re-dereferenced) pointers.
+  std::vector<std::unique_ptr<net::IProcess>> retired_;
   std::vector<std::unique_ptr<WriterSlot>> writers_;
   std::vector<std::unique_ptr<ReaderSlot>> readers_;
   std::vector<Bytes> initial_elements_;

@@ -71,6 +71,14 @@ struct SystemConfig {
   /// waiting for more forfeits liveness).
   size_t quorum() const { return n - f; }
 
+  /// Catch-up quorum: how many of its n - 1 peers a recovering server must
+  /// hear from before adopting state (f of the peers may be faulty or
+  /// down). Among any such peer set, every completed write -- stored on
+  /// >= n - f servers, hence >= n - f - 1 peers -- has at least
+  /// n - 2f - 1 >= f + 1 honest holders for n >= 4f + 1, so the
+  /// witness_threshold() vote over the responses recovers it.
+  size_t catch_up_quorum() const { return n - f - 1; }
+
   /// Witness threshold: f + 1 identical responses pin at least one honest
   /// server behind a value (Lemma 5 shows fewer is unsafe).
   size_t witness_threshold() const {

@@ -6,7 +6,7 @@ namespace bftreg::registers {
 
 namespace {
 constexpr uint8_t kMinType = static_cast<uint8_t>(MsgType::kQueryTag);
-constexpr uint8_t kMaxType = static_cast<uint8_t>(MsgType::kDataBatchResp);
+constexpr uint8_t kMaxType = static_cast<uint8_t>(MsgType::kViewAnnounce);
 }  // namespace
 
 const char* to_string(MsgType t) {
@@ -30,6 +30,9 @@ const char* to_string(MsgType t) {
     case MsgType::kDataUpdate: return "DATA-UPDATE";
     case MsgType::kQueryDataBatch: return "QUERY-DATA-BATCH";
     case MsgType::kDataBatchResp: return "DATA-BATCH-RESP";
+    case MsgType::kQueryObjects: return "QUERY-OBJECTS";
+    case MsgType::kObjectsResp: return "OBJECTS-RESP";
+    case MsgType::kViewAnnounce: return "VIEW-ANNOUNCE";
   }
   return "?";
 }
@@ -37,9 +40,10 @@ const char* to_string(MsgType t) {
 Bytes RegisterMessage::encode() const {
   // Exact wire size, so the buffer is allocated once and the (often large)
   // coded elements append without any realloc re-copy: fixed fields 13 +
-  // tag 13 + 4 length prefixes, plus 17 per history entry (tag + length
-  // prefix), 13 per tag, 4 per object id, plus the raw payload bytes.
-  size_t total = 13 + 13 + 4 * 4 + value.size();
+  // tag 13 + 4 length prefixes + trailing epoch 8, plus 17 per history
+  // entry (tag + length prefix), 13 per tag, 4 per object id, plus the raw
+  // payload bytes.
+  size_t total = 13 + 13 + 4 * 4 + 8 + value.size();
   for (const auto& tv : history) total += 17 + tv.value.size();
   total += 13 * tags.size() + 4 * objects.size();
 
@@ -59,6 +63,7 @@ Bytes RegisterMessage::encode() const {
   for (const auto& t : tags) s.put_tag(t);
   s.put_u32(static_cast<uint32_t>(objects.size()));
   for (const uint32_t o : objects) s.put_u32(o);
+  s.put_u64(epoch);
   return s.take();
 }
 
@@ -104,6 +109,8 @@ std::optional<RegisterMessage> RegisterMessage::parse(BytesView payload) {
   if (static_cast<size_t>(object_count) * 4 > d.remaining()) return std::nullopt;
   m.objects.reserve(object_count);
   for (uint32_t i = 0; i < object_count; ++i) m.objects.push_back(d.get_u32());
+
+  m.epoch = d.get_u64();
 
   if (!d.done()) return std::nullopt;
   return m;

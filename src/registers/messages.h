@@ -42,6 +42,12 @@ enum class MsgType : uint8_t {
   // --- batched multi-object reads (library extension) ---------------------
   kQueryDataBatch = 18,  // reader -> server: newest pair of EACH object
   kDataBatchResp = 19,   // server -> reader: pairs aligned with `objects`
+
+  // --- dynamic membership (reconfiguration extension) ----------------------
+  kQueryObjects = 20,    // recovering server -> peer: list your object ids
+  kObjectsResp = 21,     // peer -> recovering server: ids in `objects`
+  kViewAnnounce = 22,    // join/leave announcement: `epoch` + members in
+                         // `objects` (empty = the full static server set)
 };
 
 struct TaggedValue {
@@ -63,7 +69,14 @@ struct RegisterMessage {
   Bytes value;
   std::vector<TaggedValue> history;  // kHistoryResp; kDataBatchResp pairs
   std::vector<Tag> tags;             // kTagHistoryResp
-  std::vector<uint32_t> objects;     // kQueryDataBatch / kDataBatchResp
+  std::vector<uint32_t> objects;     // kQueryDataBatch / kDataBatchResp;
+                                     // member server indices (kViewAnnounce)
+  /// Membership epoch this message was sent under. Servers stamp their
+  /// current epoch into every reply so clients learn of view changes by
+  /// piggyback; 0 is the initial (static) view. Trails the wire format so
+  /// the object-id peek at offset 9 (RegisterServer::shard_of) is
+  /// untouched.
+  uint64_t epoch{0};
 
   Bytes encode() const;
 

@@ -73,6 +73,15 @@ const NewestCache* NewestCacheIndex::find(uint32_t object) const {
   return nullptr;
 }
 
+void NewestCacheIndex::collect(std::vector<uint32_t>* out) const {
+  for (const std::atomic<Node*>& head : heads_) {
+    for (const Node* n = head.load(std::memory_order_acquire); n != nullptr;
+         n = n->next) {
+      out->push_back(n->object);
+    }
+  }
+}
+
 // --- RegisterServer ---------------------------------------------------------
 
 RegisterServer::RegisterServer(ProcessId self, SystemConfig config,
@@ -193,8 +202,50 @@ std::vector<uint32_t> RegisterServer::object_ids() const {
   return out;
 }
 
-void RegisterServer::reply(const ProcessId& to, const RegisterMessage& msg) {
+void RegisterServer::reply(const ProcessId& to, RegisterMessage& msg) {
+  msg.epoch = view_epoch_.load(std::memory_order_acquire);
   transport_->send(self_, to, msg.encode());
+}
+
+void RegisterServer::observe_epoch(uint64_t epoch) {
+  uint64_t cur = view_epoch_.load(std::memory_order_relaxed);
+  while (epoch > cur &&
+         !view_epoch_.compare_exchange_weak(cur, epoch,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void RegisterServer::broadcast_view(uint64_t epoch,
+                                    const std::vector<uint32_t>& members,
+                                    const std::vector<ProcessId>& recipients) {
+  observe_epoch(epoch);
+  RegisterMessage msg;
+  msg.type = MsgType::kViewAnnounce;
+  msg.objects = members;
+  msg.epoch = epoch;  // the announced epoch, not (necessarily) our newest
+  const Bytes payload = msg.encode();
+  for (const ProcessId& to : recipients) {
+    if (to == self_) continue;
+    transport_->send(self_, to, payload);
+  }
+}
+
+void RegisterServer::handle_query_objects(const ProcessId& from,
+                                          const RegisterMessage& req) {
+  // Same cap as QUERY-DATA-BATCH: the recovering peer syncs in batches, and
+  // an unbounded id list would let a ballooned store forge a huge reply.
+  constexpr size_t kMaxObjects = 4096;
+  RegisterMessage resp;
+  resp.type = MsgType::kObjectsResp;
+  resp.op_id = req.op_id;
+  for (const auto& shard : shards_) {
+    shard->index.collect(&resp.objects);
+    if (resp.objects.size() >= kMaxObjects) break;
+  }
+  std::sort(resp.objects.begin(), resp.objects.end());
+  if (resp.objects.size() > kMaxObjects) resp.objects.resize(kMaxObjects);
+  reply(from, resp);
 }
 
 void RegisterServer::on_message(const net::Envelope& env) {
@@ -204,6 +255,9 @@ void RegisterServer::on_message(const net::Envelope& env) {
               << to_string(env.from);
     return;
   }
+  // Fold the piggybacked epoch in before dispatch: even requests carry the
+  // sender's view, so a server that missed an announce converges anyway.
+  observe_epoch(msg->epoch);
   switch (msg->type) {
     case MsgType::kQueryTag:
       handle_query_tag(env.from, *msg);
@@ -228,6 +282,13 @@ void RegisterServer::on_message(const net::Envelope& env) {
       break;
     case MsgType::kQueryDataBatch:
       handle_query_data_batch(env.from, *msg);
+      break;
+    case MsgType::kQueryObjects:
+      handle_query_objects(env.from, *msg);
+      break;
+    case MsgType::kViewAnnounce:
+      // The epoch fold above is the whole effect: views are tracked by
+      // clients; servers only need the epoch for piggybacking.
       break;
     default:
       // Response types and RB frames are not for a basic server.

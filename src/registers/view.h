@@ -1,0 +1,99 @@
+// Epoch-stamped membership views (reconfiguration extension).
+//
+// The paper's model fixes the server set; the reconfiguration layer keeps
+// that universe of n indices as the *identity* space but lets the set of
+// servers a client should currently talk to -- the view -- change over
+// time. Views are totally ordered by a monotonically increasing epoch:
+//
+//   - Epoch 0 is the initial static view: all n servers.
+//   - A VIEW-ANNOUNCE message carries (epoch, member indices). An empty
+//     member list means "the full static set" (the common case after a
+//     rejoin completes).
+//   - Every server stamps its current epoch into every reply, so clients
+//     learn of view changes by piggyback even if they miss the announce.
+//
+// Quorum math is deliberately NOT view-relative: quorum() = n - f over the
+// full universe, always (see docs/MEMBERSHIP.md for why shrinking quorums
+// with the view would break intersection with f Byzantine servers).
+// Consequently a ViewTracker refuses to adopt a member list smaller than
+// the quorum -- such a view could never complete an operation, and a
+// Byzantine server could otherwise wedge a client by announcing one.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "registers/config.h"
+#include "registers/messages.h"
+
+namespace bftreg::registers {
+
+/// One membership view: the epoch plus the server indices a client should
+/// address. `members` is always sorted and deduplicated.
+struct MembershipView {
+  uint64_t epoch{0};
+  std::vector<uint32_t> members;
+};
+
+/// Tracks the newest membership view a process has evidence for. Not
+/// thread-safe; OpMux drives it from under its own mutex.
+class ViewTracker {
+ public:
+  explicit ViewTracker(const SystemConfig& config)
+      : n_(config.n), quorum_(config.quorum()) {
+    view_.members = full_set();
+  }
+
+  /// Folds one incoming message into the view. Returns true when the view
+  /// advanced (the caller should retransmit operations started under the
+  /// old epoch). Two signals advance it:
+  ///   - a VIEW-ANNOUNCE with a higher epoch (adopts its member list when
+  ///     plausible, else the full set), or
+  ///   - any reply piggybacking a higher epoch (adopts the full set: the
+  ///     sender is alive, and the conservative superset is always safe
+  ///     because quorums are counted over the full universe anyway).
+  bool observe(const RegisterMessage& msg) {
+    if (msg.epoch <= view_.epoch) return false;
+    view_.epoch = msg.epoch;
+    if (msg.type == MsgType::kViewAnnounce && plausible(msg.objects)) {
+      view_.members = msg.objects;
+      std::sort(view_.members.begin(), view_.members.end());
+      view_.members.erase(
+          std::unique(view_.members.begin(), view_.members.end()),
+          view_.members.end());
+    } else {
+      view_.members = full_set();
+    }
+    return true;
+  }
+
+  const MembershipView& view() const { return view_; }
+  uint64_t epoch() const { return view_.epoch; }
+  const std::vector<uint32_t>& members() const { return view_.members; }
+
+ private:
+  std::vector<uint32_t> full_set() const {
+    std::vector<uint32_t> all(n_);
+    for (uint32_t i = 0; i < n_; ++i) all[i] = i;
+    return all;
+  }
+
+  /// A member list is adoptable only if every index names a real server
+  /// and enough members remain to ever form a quorum. An implausible list
+  /// (Byzantine announce, or a LEAVE that would kill liveness) still
+  /// advances the epoch but falls back to the full set.
+  bool plausible(const std::vector<uint32_t>& members) const {
+    if (members.size() < quorum_ || members.size() > n_) return false;
+    for (const uint32_t m : members) {
+      if (m >= n_) return false;
+    }
+    return true;
+  }
+
+  uint32_t n_;
+  size_t quorum_;
+  MembershipView view_;
+};
+
+}  // namespace bftreg::registers

@@ -19,11 +19,13 @@ ThreadNetwork::~ThreadNetwork() { stop(); }
 void ThreadNetwork::add_process(const ProcessId& pid, net::IProcess* process) {
   assert(!running_.load(std::memory_order_acquire));
   auto box = std::make_unique<Mailbox>();
-  box->process = process;
+  box->process.store(process, std::memory_order_relaxed);
   const uint32_t nshards = std::max<uint32_t>(1, process->delivery_shards());
   box->shards.reserve(nshards);
+  box->active.reserve(nshards);
   for (uint32_t s = 0; s < nshards; ++s) {
     box->shards.push_back(std::make_unique<MailboxShard>());
+    box->active.push_back(std::make_unique<std::atomic<int>>(0));
   }
   auto& slots = by_role_[static_cast<uint8_t>(pid.role)];
   if (slots.size() <= pid.index) slots.resize(pid.index + 1, nullptr);
@@ -44,11 +46,15 @@ void ThreadNetwork::start() {
   for (auto& [pid, box] : boxes_) {
     Mailbox* b = box.get();
     b->threads.reserve(b->shards.size());
-    for (auto& shard : b->shards) {
-      MailboxShard* s = shard.get();
-      b->threads.emplace_back([this, b, s] { mailbox_loop(b, s); });
+    for (size_t s = 0; s < b->shards.size(); ++s) {
+      MailboxShard* shard = b->shards[s].get();
+      std::atomic<int>* active = b->active[s].get();
+      b->threads.emplace_back(
+          [this, b, shard, active] { mailbox_loop(b, shard, active); });
     }
-    enqueue(b, 0, MailItem{nullptr, {}, [b] { b->process->on_start(); }});
+    enqueue(b, 0, MailItem{nullptr, {}, [b] {
+                    b->process.load(std::memory_order_acquire)->on_start();
+                  }});
   }
 }
 
@@ -83,7 +89,45 @@ void ThreadNetwork::stop() {
 
 void ThreadNetwork::mark_crashed(const ProcessId& pid) {
   if (Mailbox* box = find(pid)) {
-    box->crashed.store(true, std::memory_order_release);
+    // seq_cst pairs with the handler's seq_cst entry token: see quiesce().
+    box->crashed.store(true, std::memory_order_seq_cst);
+  }
+}
+
+void ThreadNetwork::quiesce(const ProcessId& pid) {
+  Mailbox* box = find(pid);
+  if (box == nullptr) return;
+  assert(box->crashed.load(std::memory_order_seq_cst) &&
+         "quiesce() requires mark_crashed() first");
+  // Dekker handshake with the handler: it increments its token seq_cst and
+  // THEN checks crashed. In the single total order, either the handler saw
+  // crashed == true (and skips the process), or its increment precedes our
+  // crashed store -- in which case the load below observes the token held
+  // until that handler exits. Once all counters read 0, no old-process
+  // handler runs or can start.
+  for (const auto& active : box->active) {
+    while (active->load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ThreadNetwork::replace_process(const ProcessId& pid,
+                                    net::IProcess* process) {
+  Mailbox* box = find(pid);
+  if (box == nullptr) return;
+  assert(std::max<uint32_t>(1, process->delivery_shards()) ==
+             box->shards.size() &&
+         "replacement process must use the same shard count");
+  // Release pairs with the handler's per-item acquire load: everything the
+  // replacement's constructor did (WAL replay included) is visible before
+  // any handler runs it.
+  box->process.store(process, std::memory_order_release);
+}
+
+void ThreadNetwork::revive(const ProcessId& pid) {
+  if (Mailbox* box = find(pid)) {
+    box->crashed.store(false, std::memory_order_seq_cst);
   }
 }
 
@@ -106,18 +150,28 @@ void ThreadNetwork::enqueue(Mailbox* box, uint32_t shard, MailItem item) {
   }
 }
 
-void ThreadNetwork::mailbox_loop(Mailbox* box, MailboxShard* shard) {
+void ThreadNetwork::mailbox_loop(Mailbox* box, MailboxShard* shard,
+                                 std::atomic<int>* active) {
   // pop_wait_consume drains whole batches in place: under load the ring
   // hands us bursts without a lock in sight, and the per-item crashed
   // check is preserved -- a crash takes effect mid-batch, exactly as it
   // did item-by-item.
-  auto handle = [box](MailItem& item) {
-    if (box->crashed.load(std::memory_order_acquire)) return;
-    if (item.proc != nullptr) {
-      item.proc->on_message(item.env);
-    } else if (item.fn) {
-      item.fn();
+  //
+  // The entry token goes up seq_cst BEFORE the crashed check (the other
+  // half of quiesce()'s Dekker handshake), and the current process object
+  // is loaded per item -- `item.proc` only discriminates envelope vs task,
+  // so an item enqueued before a replace_process delivers to the NEW
+  // process, which is indistinguishable from the network being slow.
+  auto handle = [box, active](MailItem& item) {
+    active->fetch_add(1, std::memory_order_seq_cst);
+    if (!box->crashed.load(std::memory_order_seq_cst)) {
+      if (item.proc != nullptr) {
+        box->process.load(std::memory_order_acquire)->on_message(item.env);
+      } else if (item.fn) {
+        item.fn();
+      }
     }
+    active->fetch_sub(1, std::memory_order_release);
   };
   while (shard->pop_wait_consume(handle)) {
   }
@@ -162,7 +216,7 @@ void ThreadNetwork::route(net::Envelope env) {
   // assertion instead of burning a SipHash pass per delivery.
   assert(auth_.verify(env.from, env.to, env.payload, env.mac));
   metrics_.on_deliver();
-  net::IProcess* proc = box->process;
+  net::IProcess* proc = box->process.load(std::memory_order_acquire);
   // shard_of runs on the sender's thread by contract (pure function of the
   // envelope); the modulo keeps a buggy override in range.
   uint32_t shard = 0;

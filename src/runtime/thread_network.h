@@ -75,6 +75,35 @@ class ThreadNetwork final : public net::Transport {
 
   void mark_crashed(const ProcessId& pid);
 
+  // --- live restart (dynamic membership) ----------------------------------
+  //
+  // Crash/rejoin of a single process while the network keeps running:
+  //   mark_crashed(pid)    -- stop delivering (items are dropped at handle
+  //                           time, so a crash takes effect mid-batch);
+  //   quiesce(pid)         -- wait until no mailbox thread is inside the old
+  //                           process's handler (safe point for WAL replay);
+  //   replace_process(pid) -- atomically swap in the recovered process
+  //                           object (same shard count); stale backlog items
+  //                           deliver to the NEW process, which is just the
+  //                           network being slow;
+  //   revive(pid)          -- resume delivery.
+  // The caller owns both process objects and must keep the old one alive
+  // until stop() (mailbox threads may still hold its pointer in in-flight
+  // MailItems; they never dereference it post-swap, but harnesses keep a
+  // graveyard anyway for clarity).
+
+  /// Blocks until every mailbox thread of `pid` has left its handler.
+  /// Call after mark_crashed(pid); the crashed flag keeps new items from
+  /// entering handlers, so this is a one-way barrier, not a lull.
+  void quiesce(const ProcessId& pid);
+
+  /// Swaps the process object handling `pid`'s mailbox. The replacement
+  /// must want the same number of delivery shards.
+  void replace_process(const ProcessId& pid, net::IProcess* process);
+
+  /// Clears the crashed flag; delivery to `pid` resumes.
+  void revive(const ProcessId& pid);
+
   // --- net::Transport -----------------------------------------------------
   void send_payload(const ProcessId& from, const ProcessId& to,
                     Payload payload) override;
@@ -86,11 +115,20 @@ class ThreadNetwork final : public net::Transport {
 
  private:
   struct Mailbox {
-    net::IProcess* process{nullptr};  // set before start(), const afterwards
+    /// Atomic so replace_process can swap in a recovered server while
+    /// mailbox threads run; handlers load it per item (acquire pairs with
+    /// the swap's release, ordering the new object's construction first).
+    std::atomic<net::IProcess*> process{nullptr};
     std::atomic<bool> crashed{false};
     // One ring + consumer thread per delivery shard; sized at add_process
     // from process->delivery_shards() and immutable afterwards.
     std::vector<std::unique_ptr<MailboxShard>> shards;
+    /// Handler-entry tokens, one per shard (heap-separate: no false
+    /// sharing with the hot ring). A thread increments seq_cst BEFORE the
+    /// crashed check, so quiesce()'s crashed-then-count order is a sound
+    /// Dekker handshake: once every counter reads 0, no handler of the old
+    /// process is running or can start.
+    std::vector<std::unique_ptr<std::atomic<int>>> active;
     std::vector<std::thread> threads;
   };
 
@@ -108,7 +146,7 @@ class ThreadNetwork final : public net::Transport {
     }
   };
 
-  void mailbox_loop(Mailbox* box, MailboxShard* shard);
+  void mailbox_loop(Mailbox* box, MailboxShard* shard, std::atomic<int>* active);
   void scheduler_loop() EXCLUDES(sched_mu_);
   void enqueue(Mailbox* box, uint32_t shard, MailItem item);
   void route(net::Envelope env);

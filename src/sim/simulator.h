@@ -62,6 +62,13 @@ class Simulator final : public net::Transport {
   void mark_crashed(const ProcessId& pid);
   bool is_crashed(const ProcessId& pid) const;
 
+  /// Clears the crashed mark: sends and deliveries resume. Pair with a
+  /// fresh add_process(pid, ...) to model crash/rejoin -- add_process
+  /// overwrites, and deliveries resolve the process pointer at delivery
+  /// time, so events queued across the restart reach the NEW object (to
+  /// the protocol that is just a slow network).
+  void revive(const ProcessId& pid) { crashed_.erase(pid); }
+
   /// Calls on_start() for every registered process (as time-0 events).
   void start_all();
 

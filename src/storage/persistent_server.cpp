@@ -1,12 +1,21 @@
 #include "storage/persistent_server.h"
 
+#include <algorithm>
+
+#include "common/log.h"
+
 namespace bftreg::storage {
+
+using registers::MsgType;
+using registers::RegisterMessage;
+using registers::TaggedValue;
 
 PersistentRegisterServer::PersistentRegisterServer(ProcessId self,
                                                    registers::SystemConfig config,
                                                    net::Transport* transport,
                                                    Bytes initial,
-                                                   std::string wal_path)
+                                                   std::string wal_path,
+                                                   RecoveryPolicy policy)
     : RegisterServer(self, std::move(config), transport, std::move(initial)),
       wal_(std::move(wal_path)) {
   const ReplayResult replayed = WriteAheadLog::replay(wal_.path());
@@ -16,6 +25,12 @@ PersistentRegisterServer::PersistentRegisterServer(ProcessId self,
     if (RegisterServer::apply_put(r.object, r.tag, r.value)) ++recovered_;
   }
   recovering_ = false;
+  if (policy == RecoveryPolicy::kCatchUpBeforeServe) {
+    // Not serving until begin_catch_up() has run its course: the replayed
+    // state may be missing writes that completed while this server was
+    // down, and answering from it would under-witness them.
+    serving_.store(false, std::memory_order_release);
+  }
 }
 
 bool PersistentRegisterServer::apply_put(uint32_t object, const Tag& tag,
@@ -46,6 +61,149 @@ void PersistentRegisterServer::compact() {
     }
   }
   wal_.compact(live);
+}
+
+// --- recovery state machine -------------------------------------------------
+
+void PersistentRegisterServer::on_message(const net::Envelope& env) {
+  if (is_serving()) {
+    RegisterServer::on_message(env);
+    return;
+  }
+  handle_catch_up_message(env);
+}
+
+std::vector<ProcessId> PersistentRegisterServer::peers() const {
+  std::vector<ProcessId> out;
+  out.reserve(config_.n - 1);
+  for (const ProcessId& s : config_.servers()) {
+    if (s != self_) out.push_back(s);
+  }
+  return out;
+}
+
+void PersistentRegisterServer::begin_catch_up() {
+  if (is_serving()) return;
+  if (config_.catch_up_quorum() == 0) {
+    // Degenerate clusters (n = f + 1, or n = 1) have no peer quorum to sync
+    // from; the replayed state is all there is.
+    finish_catch_up();
+    return;
+  }
+  RegisterMessage query;
+  query.type = MsgType::kQueryObjects;
+  query.op_id = kCatchUpObjectsOp;
+  query.epoch = view_epoch();
+  const Bytes payload = query.encode();
+  for (const ProcessId& p : peers()) {
+    transport_->send(self_, p, payload);
+  }
+}
+
+void PersistentRegisterServer::handle_catch_up_message(const net::Envelope& env) {
+  auto msg = RegisterMessage::parse(env.payload);
+  if (!msg) return;
+  observe_epoch(msg->epoch);
+  switch (msg->type) {
+    case MsgType::kObjectsResp: {
+      if (batch_phase_ || msg->op_id != kCatchUpObjectsOp ||
+          !env.from.is_server() || env.from.index >= config_.n) {
+        return;
+      }
+      if (!objects_peers_.insert(env.from.index).second) return;  // one vote
+      object_union_.insert(msg->objects.begin(), msg->objects.end());
+      if (objects_peers_.size() >= config_.catch_up_quorum()) {
+        start_batch_phase();
+      }
+      return;
+    }
+    case MsgType::kDataBatchResp: {
+      if (!batch_phase_ || msg->op_id != kCatchUpBatchOp ||
+          !env.from.is_server() || env.from.index >= config_.n) {
+        return;
+      }
+      if (!batch_peers_.insert(env.from.index).second) return;  // one vote
+      const size_t count = std::min(msg->objects.size(), msg->history.size());
+      for (size_t i = 0; i < count; ++i) {
+        ++votes_[msg->objects[i]][msg->history[i]];
+      }
+      if (batch_peers_.size() < config_.catch_up_quorum()) return;
+      // Quorum of peers voted. Adopt every (tag, value) group at least
+      // witness_threshold() distinct peers agree on -- that pins an honest
+      // holder behind the pair, and (file comment) guarantees every
+      // completed write clears the bar. Adoption goes through the normal
+      // logged apply_put, so the synced state survives the next crash.
+      for (const auto& [object, groups] : votes_) {
+        for (const auto& [pair, vote_count] : groups) {
+          if (vote_count < config_.witness_threshold()) continue;
+          if (apply_put(object, pair.tag, pair.value)) ++adopted_;
+        }
+      }
+      finish_catch_up();
+      return;
+    }
+    case MsgType::kViewAnnounce:
+      return;  // epoch folded above; nothing else to do while catching up
+    case MsgType::kQueryTag:
+    case MsgType::kPutData:
+    case MsgType::kQueryData:
+    case MsgType::kQueryHistory:
+    case MsgType::kQueryTagHistory:
+    case MsgType::kQueryDataAt:
+    case MsgType::kReadDone:
+    case MsgType::kQueryDataBatch:
+    case MsgType::kQueryObjects:
+      // The proof obligation of kCatchUpBeforeServe: register traffic gets
+      // NO reply (not a refusal message -- to the client we are just slow,
+      // which every protocol tolerates). Counted so tests can assert the
+      // requests arrived and were provably not answered.
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    default:
+      return;  // stray responses / RB frames: ignore
+  }
+}
+
+void PersistentRegisterServer::start_batch_phase() {
+  batch_phase_ = true;
+  if (object_union_.empty()) {
+    // A quorum of peers stores nothing beyond lazy initialization; the
+    // replayed state is already complete.
+    finish_catch_up();
+    return;
+  }
+  RegisterMessage query;
+  query.type = MsgType::kQueryDataBatch;
+  query.op_id = kCatchUpBatchOp;
+  query.epoch = view_epoch();
+  // Same cap as the peers' batch handler; a larger union would need
+  // multiple rounds, which no current workload produces (the cap exists to
+  // bound a single Byzantine peer's influence, and ids beyond it would
+  // simply be re-synced on the next restart).
+  constexpr size_t kMaxBatch = 4096;
+  for (const uint32_t object : object_union_) {
+    if (query.objects.size() >= kMaxBatch) {
+      LOG_WARN << to_string(self_) << ": catch-up union exceeds " << kMaxBatch
+               << " objects; truncating this sync round";
+      break;
+    }
+    query.objects.push_back(object);
+  }
+  const Bytes payload = query.encode();
+  for (const ProcessId& p : peers()) {
+    transport_->send(self_, p, payload);
+  }
+}
+
+void PersistentRegisterServer::finish_catch_up() {
+  serving_.store(true, std::memory_order_release);
+  // Announce the rejoin: a fresh epoch over the full static set. Clients
+  // not directly addressed learn by piggyback (every subsequent reply from
+  // any server carries the new epoch) and retransmit straddling ops.
+  broadcast_view(view_epoch() + 1, {}, config_.servers());
+  LOG_INFO << to_string(self_) << ": catch-up complete (adopted " << adopted_
+           << " pairs, refused " << refused_.load(std::memory_order_relaxed)
+           << " requests), serving at epoch " << view_epoch();
 }
 
 }  // namespace bftreg::storage

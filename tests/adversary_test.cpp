@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <string>
 
 #include "adversary/byzantine_server.h"
+#include "adversary/churn.h"
 #include "sim/simulator.h"
 
 namespace bftreg::adversary {
@@ -163,6 +166,67 @@ TEST_F(AdversaryFixture, StrategyNamesRoundTrip) {
   for (auto kind : kAllStrategyKinds) {
     EXPECT_STRNE(to_string(kind), "?");
   }
+}
+
+// ------------------------------------------------- churn schedules
+
+std::vector<ChurnSchedule> all_churn_schedules(size_t victim) {
+  return {crash_during_write_schedule(victim),
+          crash_during_read_writeback_schedule(victim),
+          rejoin_mid_round_schedule(victim)};
+}
+
+TEST(ChurnScheduleTest, BuildersProduceSortedNamedSchedules) {
+  std::set<std::string> names;
+  for (const auto& s : all_churn_schedules(2)) {
+    EXPECT_FALSE(s.name.empty());
+    names.insert(s.name);
+    ASSERT_FALSE(s.steps.empty()) << s.name;
+    for (size_t i = 1; i < s.steps.size(); ++i) {
+      EXPECT_LE(s.steps[i - 1].at, s.steps[i].at)
+          << s.name << ": steps must be time-ordered (the interpreter "
+          << "advances virtual time monotonically)";
+    }
+  }
+  EXPECT_EQ(names.size(), 3u) << "names key the RNG reseed; must be distinct";
+}
+
+TEST(ChurnScheduleTest, VictimIndexReachesEveryCrashAndRestart) {
+  for (const auto& s : all_churn_schedules(3)) {
+    size_t crashes = 0;
+    size_t restarts = 0;
+    for (const auto& step : s.steps) {
+      if (step.action == ChurnAction::kCrash) {
+        ++crashes;
+        EXPECT_EQ(step.index, 3u) << s.name;
+      }
+      if (step.action == ChurnAction::kRestart) {
+        ++restarts;
+        EXPECT_EQ(step.index, 3u) << s.name;
+      }
+    }
+    EXPECT_EQ(crashes, 1u) << s.name;
+    EXPECT_EQ(restarts, 1u) << s.name;
+  }
+}
+
+TEST(ChurnScheduleTest, RestartAlwaysFollowsItsCrash) {
+  for (const auto& s : all_churn_schedules(0)) {
+    TimeNs crash_at = 0;
+    TimeNs restart_at = 0;
+    for (const auto& step : s.steps) {
+      if (step.action == ChurnAction::kCrash) crash_at = step.at;
+      if (step.action == ChurnAction::kRestart) restart_at = step.at;
+    }
+    EXPECT_LT(crash_at, restart_at) << s.name;
+  }
+}
+
+TEST(ChurnScheduleTest, ActionNamesRoundTrip) {
+  EXPECT_STREQ(to_string(ChurnAction::kCrash), "crash");
+  EXPECT_STREQ(to_string(ChurnAction::kRestart), "restart");
+  EXPECT_STREQ(to_string(ChurnAction::kStartWrite), "start-write");
+  EXPECT_STREQ(to_string(ChurnAction::kStartRead), "start-read");
 }
 
 }  // namespace

@@ -1,8 +1,16 @@
-// Unit tests for the safety/regularity checkers over hand-built histories.
+// Unit tests for the safety/regularity checkers over hand-built histories,
+// plus churn executions (crash/rejoin schedules on a live cluster) judged
+// by the same checkers.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
+#include "adversary/churn.h"
 #include "checker/consistency.h"
 #include "checker/execution.h"
+#include "harness/scenarios.h"
+#include "harness/sim_cluster.h"
 
 namespace bftreg::checker {
 namespace {
@@ -250,6 +258,124 @@ TEST(RecorderTest, IncompleteOpsHaveOpenInterval) {
   ASSERT_EQ(rec.ops().size(), 1u);
   EXPECT_FALSE(rec.ops()[0].completed);
   EXPECT_NE(rec.dump().find("inf"), std::string::npos);
+}
+
+// --------------------------------------------- churn under the checker
+//
+// The churn schedules (adversary/churn.h) crash and rejoin a server at the
+// adversarial moments of the membership layer -- mid-write, mid-writeback,
+// mid-round -- and the SAME Definitions 1/2 checkers that judge Byzantine
+// executions judge these: recovery must not cost the register its
+// consistency class.
+
+/// Unique temp directory per test; removed recursively on destruction.
+class TempWalDir {
+ public:
+  explicit TempWalDir(const std::string& stem) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("bftreg_" + stem + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++)))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempWalDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+harness::ClusterOptions churn_options(harness::Protocol protocol,
+                                      const std::string& wal_dir,
+                                      uint64_t seed) {
+  harness::ClusterOptions o;
+  o.protocol = protocol;
+  o.config.n = 5;
+  o.config.f = 1;
+  o.seed = seed;
+  o.wal_dir = wal_dir;
+  return o;
+}
+
+TEST(ChurnCheckerTest, CrashDuringWriteStaysSafeAndRegular) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    TempWalDir wal("churn_write");  // fresh per run: no stale WAL replay
+    harness::SimCluster cluster(
+        churn_options(harness::Protocol::kBsr, wal.path(), seed));
+    const auto out = harness::run_churn_schedule(
+        cluster, adversary::crash_during_write_schedule(1));
+    EXPECT_TRUE(out.recovered_serving);
+
+    CheckOptions copts;
+    copts.strict_validity = true;  // BSR's witness rule holds through churn
+    EXPECT_TRUE(check_safety(cluster.recorder().ops(), copts).ok)
+        << cluster.recorder().dump_timeline();
+    EXPECT_TRUE(check_regularity(cluster.recorder().ops(), copts).ok)
+        << cluster.recorder().dump_timeline();
+  }
+}
+
+TEST(ChurnCheckerTest, CrashDuringReadWritebackStaysAtomic) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    TempWalDir wal("churn_wb");  // fresh per run: no stale WAL replay
+    harness::SimCluster cluster(
+        churn_options(harness::Protocol::kBsrWb, wal.path(), seed));
+    const auto out = harness::run_churn_schedule(
+        cluster, adversary::crash_during_read_writeback_schedule(1));
+    EXPECT_TRUE(out.recovered_serving);
+
+    CheckOptions copts;
+    copts.strict_validity = true;
+    // The write-back variant promises atomicity; losing and recovering the
+    // write-back target mid-read must not break it.
+    EXPECT_TRUE(check_atomicity(cluster.recorder().ops(), copts).ok)
+        << cluster.recorder().dump_timeline();
+  }
+}
+
+TEST(ChurnCheckerTest, RejoinMidRoundRefusesTrafficYetStaysRegular) {
+  uint64_t total_refused = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    TempWalDir wal("churn_rejoin");  // fresh per run: no stale WAL replay
+    harness::SimCluster cluster(
+        churn_options(harness::Protocol::kBsr, wal.path(), seed));
+    const auto out = harness::run_churn_schedule(
+        cluster, adversary::rejoin_mid_round_schedule(1));
+    EXPECT_TRUE(out.recovered_serving);
+    total_refused += out.refused_during_catch_up;
+
+    CheckOptions copts;
+    copts.strict_validity = true;
+    EXPECT_TRUE(check_safety(cluster.recorder().ops(), copts).ok)
+        << cluster.recorder().dump_timeline();
+    EXPECT_TRUE(check_regularity(cluster.recorder().ops(), copts).ok)
+        << cluster.recorder().dump_timeline();
+  }
+  // The rejoin lands while a write round is in flight, so live traffic
+  // reaches the server during catch-up -- and every such request must show
+  // up as a refusal (dropped, never answered), not as a stale reply.
+  EXPECT_GT(total_refused, 0u);
+}
+
+TEST(ChurnCheckerTest, EveryVictimPositionSurvivesCrashRejoin) {
+  // The catch-up layer must not care WHICH server churns: the same
+  // schedule across victim positions, judged by the plain safety checker
+  // without strict validity.
+  for (size_t victim = 1; victim < 4; ++victim) {
+    SCOPED_TRACE("victim=" + std::to_string(victim));
+    TempWalDir wal("churn_victims");  // fresh per run: no stale WAL replay
+    harness::SimCluster cluster(
+        churn_options(harness::Protocol::kBsr, wal.path(), 11 + victim));
+    const auto out = harness::run_churn_schedule(
+        cluster, adversary::crash_during_write_schedule(victim));
+    EXPECT_TRUE(out.recovered_serving);
+    EXPECT_TRUE(check_safety(cluster.recorder().ops(), CheckOptions{}).ok)
+        << cluster.recorder().dump_timeline();
+  }
 }
 
 }  // namespace

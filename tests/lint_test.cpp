@@ -120,6 +120,43 @@ TEST(LintResilienceLiteral, UnrelatedArithmeticNotFlagged) {
       "resilience-literal"));
 }
 
+TEST(LintQuorumArithmetic, InlineQuorumFormsFlaggedOutsideConfig) {
+  const auto vs = lint_content("src/registers/op_mux.cpp",
+                               "size_t need = n - f;\n");
+  ASSERT_TRUE(has_rule(vs, "quorum-arithmetic"));
+  EXPECT_EQ(vs.front().line, 1);
+  EXPECT_TRUE(has_rule(
+      lint_content("src/registers/server.cpp",
+                   "if (acks > (n + f) / 2) finish();\n"),
+      "quorum-arithmetic"));
+}
+
+TEST(LintQuorumArithmetic, ConfigHeaderExempt) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/registers/config.h", "return n - f;\n"),
+      "quorum-arithmetic"));
+}
+
+TEST(LintQuorumArithmetic, WordBoundariesRespected) {
+  // Identifiers that merely end in n / start with f are not the protocol
+  // parameters.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/codec/rs.cpp", "size_t pad = len - frames;\n"),
+      "quorum-arithmetic"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/codec/rs.cpp", "size_t mid = (len + fanout) / 2;\n"),
+      "quorum-arithmetic"));
+}
+
+TEST(LintQuorumArithmetic, WaiverHonored) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/harness/scenarios.cpp",
+                   "// index range, not a quorum size:"
+                   " bftreg-lint: allow(quorum-arithmetic)\n"
+                   "withhold(0, n - f, n);\n"),
+      "quorum-arithmetic"));
+}
+
 TEST(LintLegacySingleOp, BusyCallSitesFlaggedOutsideRegisters) {
   EXPECT_TRUE(has_rule(
       lint_content("src/harness/sim_cluster.cpp",
@@ -711,7 +748,9 @@ TEST(LintSarif, GoldenDocument) {
       "        {\"id\": \"unchecked-result\", \"shortDescription\": {\"text\": "
       "\"discarded Result<T> return value\"}},\n"
       "        {\"id\": \"atomic-in-ring\", \"shortDescription\": {\"text\": "
-      "\"implicit seq_cst atomic access in the lock-free delivery path\"}}\n"
+      "\"implicit seq_cst atomic access in the lock-free delivery path\"}},\n"
+      "        {\"id\": \"quorum-arithmetic\", \"shortDescription\": {\"text\": "
+      "\"quorum-sized arithmetic outside config.h\"}}\n"
       "      ]\n"
       "    }},\n"
       "    \"results\": [\n"

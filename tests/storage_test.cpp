@@ -275,5 +275,184 @@ TEST(PersistentServerTest, RecoveryKeepsWitnessGuarantee) {
   EXPECT_EQ(got, (Bytes{'d', 'u', 'r'}));
 }
 
+// ------------------------------------------- crash/rejoin catch-up
+
+/// Collects every envelope the server under test sends back.
+class ReplyProbe final : public net::IProcess {
+ public:
+  void on_message(const net::Envelope& env) override {
+    replies.push_back(env);
+  }
+  std::vector<net::Envelope> replies;
+};
+
+/// A 5-server BSR fixture where server 0 is WAL-backed and the other four
+/// are plain in-memory servers; used to exercise the crash -> replay ->
+/// refuse -> quorum-catch-up -> serve cycle.
+class CatchUpFixture : public ::testing::Test {
+ protected:
+  CatchUpFixture()
+      : tmp_("catchup"),
+        sim_(sim::SimConfig::with_fixed_delay(3, 100)),
+        cfg_(small_config()),
+        writer_(ProcessId::writer(0), cfg_, &sim_) {
+    for (uint32_t i = 1; i < cfg_.n; ++i) {
+      peers_.push_back(std::make_unique<registers::RegisterServer>(
+          ProcessId::server(i), cfg_, &sim_, Bytes{}));
+      sim_.add_process(ProcessId::server(i), peers_.back().get());
+    }
+    sim_.add_process(ProcessId::writer(0), &writer_);
+    sim_.add_process(ProcessId::reader(0), &probe_);
+  }
+
+  void write(Bytes v) {
+    bool done = false;
+    writer_.start_write(std::move(v),
+                        [&](const registers::WriteResult&) { done = true; });
+    ASSERT_TRUE(sim_.run_until([&] { return done; }));
+    sim_.run_until_idle();
+  }
+
+  /// Injects a client request directly into `server` (from reader 0, whose
+  /// mailbox is the probe) and drains the simulator.
+  void send_request(PersistentRegisterServer& server, registers::MsgType type) {
+    registers::RegisterMessage m;
+    m.type = type;
+    m.op_id = 7777;
+    m.tag = Tag{99, ProcessId::writer(0)};
+    m.value = Bytes{'z'};
+    net::Envelope env;
+    env.from = ProcessId::reader(0);
+    env.to = ProcessId::server(0);
+    env.payload = m.encode();
+    server.on_message(env);
+    sim_.run_until_idle();
+  }
+
+  TempFile tmp_;
+  sim::Simulator sim_;
+  registers::SystemConfig cfg_;
+  std::vector<std::unique_ptr<net::IProcess>> peers_;
+  registers::BsrWriter writer_;
+  ReplyProbe probe_;
+};
+
+TEST_F(CatchUpFixture, KilledMidAppendReplaysThenRefusesUntilQuorumCatchUp) {
+  // Live phase: server 0 logs two completed writes...
+  {
+    PersistentRegisterServer server(ProcessId::server(0), cfg_, &sim_, Bytes{},
+                                    tmp_.path());
+    sim_.add_process(ProcessId::server(0), &server);
+    write(Bytes(64, 'a'));
+    write(Bytes(64, 'b'));
+    sim_.mark_crashed(ProcessId::server(0));
+  }  // ...and dies. (Destroyed only after mark_crashed: no dangling deliveries.)
+
+  // A third write completes at the surviving n - f = 4 servers; server 0
+  // never saw it, so WAL replay alone CANNOT restore it.
+  write(Bytes(64, 'c'));
+
+  // The kill also tore the tail of the final append (the 64-byte records
+  // are longer than the 30 bytes chopped, so the tear lands mid-record).
+  const auto size = std::filesystem::file_size(tmp_.path());
+  std::filesystem::resize_file(tmp_.path(), size - 30);
+
+  PersistentRegisterServer recovered(ProcessId::server(0), cfg_, &sim_, Bytes{},
+                                     tmp_.path(),
+                                     RecoveryPolicy::kCatchUpBeforeServe);
+  EXPECT_EQ(recovered.recovered_records(), 1u) << "torn record must be dropped";
+  EXPECT_GT(recovered.recovered_truncated_bytes(), 0u);
+  ASSERT_FALSE(recovered.is_serving());
+  sim_.add_process(ProcessId::server(0), &recovered);
+  sim_.revive(ProcessId::server(0));
+
+  // Proof obligation: between replay and catch-up completion the server
+  // answers NOTHING -- queries and writes alike vanish into the refusal
+  // counter.
+  send_request(recovered, registers::MsgType::kQueryTag);
+  send_request(recovered, registers::MsgType::kQueryData);
+  send_request(recovered, registers::MsgType::kPutData);
+  EXPECT_TRUE(probe_.replies.empty());
+  EXPECT_EQ(recovered.refused_while_catching_up(), 3u);
+  EXPECT_EQ(recovered.max_tag(0), (Tag{1, ProcessId::writer(0)}))
+      << "the refused put must not have been applied either";
+
+  recovered.begin_catch_up();
+  ASSERT_TRUE(sim_.run_until([&] { return recovered.is_serving(); }));
+  sim_.run_until_idle();
+
+  // Catch-up recovered the write it missed while down.
+  EXPECT_GE(recovered.catch_up_adopted(), 1u);
+  EXPECT_EQ(recovered.max_tag(0), (Tag{3, ProcessId::writer(0)}));
+  EXPECT_EQ(recovered.max_value(0), Bytes(64, 'c'));
+
+  // Now -- and only now -- it answers.
+  send_request(recovered, registers::MsgType::kQueryTag);
+  ASSERT_EQ(probe_.replies.size(), 1u);
+  const auto reply = registers::RegisterMessage::parse(probe_.replies[0].payload);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, registers::MsgType::kTagResp);
+  EXPECT_EQ(reply->tag, (Tag{3, ProcessId::writer(0)}));
+  EXPECT_EQ(recovered.refused_while_catching_up(), 3u) << "counter frozen once serving";
+}
+
+TEST_F(CatchUpFixture, EmptyWalStillRefusesThenAdoptsPeerState) {
+  // Server 0 was down from the start: no WAL file, two writes completed at
+  // its peers. A blank rejoin that served immediately could un-witness
+  // them; the catch-up policy must adopt the peers' newest state first.
+  sim_.mark_crashed(ProcessId::server(0));
+  write(Bytes{'x'});
+  write(Bytes{'y'});
+
+  PersistentRegisterServer recovered(ProcessId::server(0), cfg_, &sim_, Bytes{},
+                                     tmp_.path(),
+                                     RecoveryPolicy::kCatchUpBeforeServe);
+  EXPECT_EQ(recovered.recovered_records(), 0u);
+  ASSERT_FALSE(recovered.is_serving());
+  sim_.add_process(ProcessId::server(0), &recovered);
+  sim_.revive(ProcessId::server(0));
+
+  send_request(recovered, registers::MsgType::kQueryData);
+  EXPECT_TRUE(probe_.replies.empty());
+  EXPECT_EQ(recovered.refused_while_catching_up(), 1u);
+
+  recovered.begin_catch_up();
+  ASSERT_TRUE(sim_.run_until([&] { return recovered.is_serving(); }));
+  sim_.run_until_idle();
+  EXPECT_GE(recovered.catch_up_adopted(), 1u);
+  EXPECT_EQ(recovered.max_tag(0), (Tag{2, ProcessId::writer(0)}));
+  EXPECT_EQ(recovered.max_value(0), (Bytes{'y'}));
+}
+
+TEST(PersistentServerTest, CatchUpWithNoPeersFinishesImmediately) {
+  // n = 1, f = 0: catch_up_quorum() is zero, so begin_catch_up flips the
+  // server straight to serving (there is no one to sync from).
+  TempFile tmp("solo");
+  sim::Simulator sim(sim::SimConfig::with_fixed_delay(1, 10));
+  registers::SystemConfig cfg;
+  cfg.n = 1;
+  cfg.f = 0;
+  PersistentRegisterServer server(ProcessId::server(0), cfg, &sim, Bytes{},
+                                  tmp.path(),
+                                  RecoveryPolicy::kCatchUpBeforeServe);
+  sim.add_process(ProcessId::server(0), &server);
+  EXPECT_FALSE(server.is_serving());
+  server.begin_catch_up();
+  EXPECT_TRUE(server.is_serving());
+  EXPECT_EQ(server.refused_while_catching_up(), 0u);
+  EXPECT_EQ(server.catch_up_adopted(), 0u);
+}
+
+TEST(PersistentServerTest, ServeImmediatelyPolicyIsUnchanged) {
+  // The default policy must behave exactly as before the membership layer:
+  // up and answering from construction.
+  TempFile tmp("immediate");
+  sim::Simulator sim(sim::SimConfig::with_fixed_delay(1, 10));
+  PersistentRegisterServer server(ProcessId::server(0), small_config(), &sim,
+                                  Bytes{}, tmp.path());
+  EXPECT_TRUE(server.is_serving());
+  EXPECT_EQ(server.refused_while_catching_up(), 0u);
+}
+
 }  // namespace
 }  // namespace bftreg::storage

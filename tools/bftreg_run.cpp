@@ -10,13 +10,17 @@
 //   bftreg_run --protocol=bcsr --n=11 --f=2 --value-size=4096 --read-ratio=0.9
 //   bftreg_run --protocol=bsr2r --scenario=theorem3
 //   bftreg_run --protocol=bsr --n=4 --f=1 --scenario=theorem5 --trace
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "adversary/churn.h"
 #include "checker/consistency.h"
 #include "common/stats.h"
 #include "harness/scenarios.h"
@@ -52,8 +56,11 @@ void usage() {
       "  --seed=<int>         RNG seed (default 1)\n"
       "  --byzantine=<kind>   silent|stale|fabricate|collude|double-reply|\n"
       "                       malformed|turncoat  (applied to f servers)\n"
-      "  --scenario=<name>    theorem3 | theorem5 (runs the proof schedule\n"
-      "                       instead of a workload)\n"
+      "  --scenario=<name>    theorem3 | theorem5 (proof schedules), or\n"
+      "                       churn-crash-write | churn-crash-writeback |\n"
+      "                       churn-rejoin (crash/rejoin drills; server 1 is\n"
+      "                       bounced mid-operation, WAL-backed, and must\n"
+      "                       catch up from a quorum before serving again)\n"
       "  --trace              dump the recorded execution\n");
 }
 
@@ -186,6 +193,57 @@ int run_scenario(const Options& o) {
                   cluster.recorder().dump_timeline().c_str());
     }
     return 0;
+  }
+  if (o.scenario.rfind("churn-", 0) == 0) {
+    adversary::ChurnSchedule schedule;
+    if (o.scenario == "churn-crash-write") {
+      schedule = adversary::crash_during_write_schedule(1);
+    } else if (o.scenario == "churn-crash-writeback") {
+      schedule = adversary::crash_during_read_writeback_schedule(1);
+    } else if (o.scenario == "churn-rejoin") {
+      schedule = adversary::rejoin_mid_round_schedule(1);
+    } else {
+      std::fprintf(stderr, "unknown churn scenario '%s'\n", o.scenario.c_str());
+      return 2;
+    }
+
+    // Restarts need durable server state: stage WAL files in a temp dir.
+    const auto wal_dir =
+        std::filesystem::temp_directory_path() /
+        ("bftreg_run_churn_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    co.wal_dir = wal_dir.string();
+
+    int rc = 0;
+    {
+      harness::SimCluster cluster(co);
+      const auto out = harness::run_churn_schedule(cluster, schedule);
+      std::printf(
+          "churn schedule '%s' on %s (n=%zu, f=%zu): %zu writes, %zu reads\n",
+          schedule.name.c_str(), to_string(o.protocol), o.n, o.f,
+          out.write_ids.size(), out.read_ids.size());
+      std::printf("  effective seed:        0x%016llx\n",
+                  static_cast<unsigned long long>(out.seed));
+      std::printf("  recovered & serving:   %s\n",
+                  out.recovered_serving ? "yes" : "NO");
+      std::printf("  refused in catch-up:   %llu requests (dropped, never "
+                  "answered)\n",
+                  static_cast<unsigned long long>(out.refused_during_catch_up));
+      const auto safe = checker::check_safety(cluster.recorder().ops(), copts);
+      const auto reg = checker::check_regularity(cluster.recorder().ops(), copts);
+      const auto atom = checker::check_atomicity(cluster.recorder().ops(), copts);
+      std::printf("  safety:     %s\n", safe.ok ? "OK" : safe.violation.c_str());
+      std::printf("  regularity: %s\n", reg.ok ? "OK" : reg.violation.c_str());
+      std::printf("  atomicity:  %s\n", atom.ok ? "OK" : atom.violation.c_str());
+      if (o.trace) {
+        std::printf("\n%s\n%s", cluster.recorder().dump().c_str(),
+                    cluster.recorder().dump_timeline().c_str());
+      }
+      rc = (safe.ok && reg.ok && out.recovered_serving) ? 0 : 1;
+    }
+    std::filesystem::remove_all(wal_dir);
+    return rc;
   }
   std::fprintf(stderr, "unknown scenario '%s'\n", o.scenario.c_str());
   return 2;

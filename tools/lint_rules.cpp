@@ -73,6 +73,12 @@ const std::regex kMutexMember(
 // `2 * f`, while 3/4/5 are exactly the protocol bounds (3f+1 RB, 4f+1 BSR,
 // 5f+1 BCSR) that must live in config.h.
 const std::regex kResilienceLiteral(R"(\b[345]\s*\*\s*f\b|\bf\s*\*\s*[345]\b)");
+// Quorum-sized expressions spelled inline: `n - f` (the BSR quorum,
+// Lemma 6) or the majority form `(n + f) / 2`. Like the k*f bounds, these
+// must come from SystemConfig's accessors (quorum(), catch_up_quorum(),
+// witness_threshold()) so a resilience change edits exactly one file.
+const std::regex kQuorumArithmetic(
+    R"(\bn\s*-\s*f\b|\(\s*n\s*\+\s*f\s*\)\s*/\s*2)");
 // `Mutex name ACQUIRED_BEFORE(a, b);` / `std::mutex name ACQUIRED_AFTER(a);`
 const std::regex kOrderedMutex(
     R"((?:std\s*::\s*(?:shared_)?mutex|Mutex)\s+([A-Za-z_]\w*)\s+ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\))");
@@ -747,6 +753,13 @@ void line_rules(const std::string& rel_path, const Prepared& p,
            "(use bsr_min_servers/bcsr_min_servers/rb_min_servers/"
            "bcsr_code_dimension)");
     }
+    if (rel_path != "src/registers/config.h" &&
+        std::regex_search(code, kQuorumArithmetic)) {
+      flag(i, "quorum-arithmetic",
+           "quorum-sized arithmetic (n - f, (n + f) / 2) belongs in "
+           "src/registers/config.h (use SystemConfig::quorum()/"
+           "catch_up_quorum()/witness_threshold())");
+    }
     if (atomic_order_scoped(rel_path)) {
       for (auto it = std::sregex_iterator(code.begin(), code.end(), kAtomicOp);
            it != std::sregex_iterator(); ++it) {
@@ -1308,6 +1321,8 @@ constexpr RuleMeta kRuleCatalog[] = {
     {"unchecked-result", "discarded Result<T> return value"},
     {"atomic-in-ring",
      "implicit seq_cst atomic access in the lock-free delivery path"},
+    // Appended last: ruleIndex values above are frozen by the SARIF golden.
+    {"quorum-arithmetic", "quorum-sized arithmetic outside config.h"},
 };
 
 }  // namespace

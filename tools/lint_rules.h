@@ -30,6 +30,13 @@
 //   resilience-literal  `k * f` resilience arithmetic outside
 //                       src/registers/config.h -- the 4f+1 / 5f+1 / 3f+1
 //                       bounds live in exactly one place.
+//   quorum-arithmetic   quorum-sized expressions (`n - f`, `(n + f) / 2`)
+//                       outside src/registers/config.h -- quorum sizes flow
+//                       from SystemConfig::quorum() / catch_up_quorum() /
+//                       witness_threshold(), same single-source rule as the
+//                       resilience bounds. Index arithmetic that happens to
+//                       spell `n - f` (e.g. "the last f servers" in a
+//                       scripted schedule) is waived in place.
 //   lock-order          a nested `MutexLock` scope that acquires against a
 //                       declared ACQUIRED_BEFORE / ACQUIRED_AFTER edge.
 //                       Direct inversions only; transitive consequences of
