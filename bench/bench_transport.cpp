@@ -9,6 +9,10 @@
 //                   [--filter=STR]  only points whose "net/size/fanin[/sN]"
 //                                   key contains STR (dev iteration)
 //
+// The common flags (--json/--quick/--seed/--duration) parse through
+// bench::BenchArgs like every other bench binary; --mailbox/--filter are
+// this binary's extras.
+//
 // Workload: `fanin - 1` source processes each keep a window of messages of
 // `size` bytes in flight toward one sink; the sink acknowledges every
 // message with an 8-byte credit, and a source refills its window as credits
@@ -37,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "net/transport.h"
 #include "runtime/thread_network.h"
 #include "socknet/tcp_network.h"
@@ -291,25 +296,21 @@ int run_grid(const std::string& json_path, bool quick, bool mailbox_only,
 }  // namespace bftreg::bench
 
 int main(int argc, char** argv) {
-  std::string json_path;
   std::string filter;
-  bool quick = false;
   bool mailbox_only = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
-      filter = argv[i] + 9;
-    } else if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--mailbox") == 0) {
-      mailbox_only = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_transport [--json=PATH] [--quick] "
-                   "[--mailbox] [--filter=STR]\n");
-      return 2;
-    }
-  }
-  return bftreg::bench::run_grid(json_path, quick, mailbox_only, filter);
+  const auto args = bftreg::bench::BenchArgs::parse(
+      argc, argv, "[--mailbox] [--filter=STR]", [&](const char* a) {
+        if (std::strncmp(a, "--filter=", 9) == 0) {
+          filter = a + 9;
+          return true;
+        }
+        if (std::strcmp(a, "--mailbox") == 0) {
+          mailbox_only = true;
+          return true;
+        }
+        return false;
+      });
+  if (!args) return 2;
+  return bftreg::bench::run_grid(args->json_path, args->quick, mailbox_only,
+                                 filter);
 }

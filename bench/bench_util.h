@@ -7,6 +7,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
 #include <string>
 
 #include "common/stats.h"
@@ -14,6 +18,55 @@
 #include "workload/workload.h"
 
 namespace bftreg::bench {
+
+/// The shared command-line surface of the bench binaries. Every binary
+/// accepts the same four flags with the same spellings and semantics --
+/// CI and tools/bench_regress drive all of them identically:
+///
+///   --json=PATH       machine-readable snapshot ("" = table only)
+///   --quick           CI-sized budgets (each binary documents its scale)
+///   --seed=N          workload/delay seed (default 1)
+///   --duration=SECS   per-point measurement window, for binaries that
+///                     measure for a fixed time instead of a fixed count
+///
+/// Binary-specific flags go through the `extra` callback: it sees each
+/// unrecognized argument and returns whether it consumed it. parse()
+/// returns nullopt (after printing usage) on anything left over.
+struct BenchArgs {
+  std::string json_path;
+  bool quick{false};
+  uint64_t seed{1};
+  double duration_s{0};
+
+  using ExtraFlag = std::function<bool(const char*)>;
+
+  static std::optional<BenchArgs> parse(int argc, char** argv,
+                                        const char* extra_usage = "",
+                                        const ExtraFlag& extra = {}) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--json=", 7) == 0) {
+        args.json_path = a + 7;
+      } else if (std::strcmp(a, "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        args.seed = std::strtoull(a + 7, nullptr, 10);
+      } else if (std::strncmp(a, "--duration=", 11) == 0) {
+        args.duration_s = std::strtod(a + 11, nullptr);
+      } else if (extra && extra(a)) {
+        // consumed by the binary
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--json=PATH] [--quick] [--seed=N] "
+                     "[--duration=SECS]%s%s\n",
+                     argv[0], *extra_usage ? " " : "", extra_usage);
+        return std::nullopt;
+      }
+    }
+    return args;
+  }
+};
 
 inline harness::ClusterOptions make_options(harness::Protocol protocol, size_t n,
                                             size_t f, uint64_t seed,

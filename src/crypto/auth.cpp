@@ -44,6 +44,17 @@ void Authenticator::precompute(const std::vector<ProcessId>& ids) {
   }
 }
 
+void Authenticator::precompute_pairs(const std::vector<ProcessId>& hubs,
+                                     const std::vector<ProcessId>& peers) {
+  cache_.reserve(cache_.size() + 2 * hubs.size() * peers.size());
+  for (const ProcessId& hub : hubs) {
+    for (const ProcessId& peer : peers) {
+      cache_.emplace(PairKey{hub, peer}, registry_.channel_key(hub, peer));
+      cache_.emplace(PairKey{peer, hub}, registry_.channel_key(peer, hub));
+    }
+  }
+}
+
 SipHashKey Authenticator::key_for(const ProcessId& from,
                                   const ProcessId& to) const {
   if (!cache_.empty()) {

@@ -46,6 +46,15 @@ class Authenticator {
   /// shared across threads (the transports call it at start()).
   void precompute(const std::vector<ProcessId>& ids);
 
+  /// Sparse variant for hub-and-spoke topologies: caches only the ordered
+  /// pairs that touch a hub (hub->peer and peer->hub for every hub x peer
+  /// combination). A 10k-client fleet talking to a handful of servers then
+  /// costs O(hubs * peers) derivations instead of the O(peers^2) of full
+  /// precompute(); pairs never cached still derive on demand. Same
+  /// thread-safety caveat as precompute().
+  void precompute_pairs(const std::vector<ProcessId>& hubs,
+                        const std::vector<ProcessId>& peers);
+
   /// MAC over (from, to, payload) under the from->to channel key.
   MacTag seal(const ProcessId& from, const ProcessId& to, BytesView payload) const;
 

@@ -7,14 +7,64 @@
 // decision of the repo (DESIGN.md §6.1).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <thread>
 
 #include "common/types.h"
 #include "net/envelope.h"
 #include "net/metrics.h"
 
 namespace bftreg::net {
+
+/// Execution knobs shared by the real-time transports. These are purely
+/// operational -- protocol semantics never depend on them -- and they are
+/// the one place transport sizing is spelled out: SystemConfig::Builder
+/// validates and carries a TransportOptions, and socknet::TcpConfig embeds
+/// one, so a deployment tunes "how many event-loop shards, how many
+/// handler threads, how much outbound buffering" in a single struct instead
+/// of a grab-bag of per-transport fields.
+struct TransportOptions {
+  /// Event-loop shards (socknet::EventLoop): every connection, listener,
+  /// and timer is owned by exactly one shard's epoll set, so the I/O
+  /// thread count is fixed at this value no matter how many endpoints are
+  /// registered. 0 = auto (hardware concurrency clamped to [1, 4]).
+  size_t loop_shards{0};
+  /// Handler (mailbox) threads: delivery contexts of all endpoints are
+  /// multiplexed onto this many MPSC-ring consumers (runtime/mailbox.h).
+  /// The per-(process, delivery-shard) serialization guarantee of
+  /// IProcess is preserved -- a context is pinned to one consumer -- but
+  /// the thread count no longer grows with the endpoint count.
+  /// 0 = auto (hardware concurrency clamped to [2, 8]).
+  size_t mailbox_shards{0};
+  /// Per-destination outbound queue cap in bytes (headers + payloads),
+  /// counting both frames not yet picked up by the event loop and frames
+  /// waiting on socket writability. A send() that would push a non-empty
+  /// queue past the cap is shed and counted in metrics().messages_dropped;
+  /// a single frame larger than the cap is still accepted so jumbo
+  /// payloads cannot deadlock themselves.
+  size_t max_outbox_bytes{32 * 1024 * 1024};
+  /// Receive chunk size: frames are parsed in place inside refcounted
+  /// chunks of this capacity (grown per-frame when one frame is larger).
+  size_t recv_chunk_bytes{256 * 1024};
+  /// Cap on the pooled receive-chunk bytes (shared across connections).
+  size_t recv_pool_bytes{64 * 1024 * 1024};
+
+  /// The auto defaults resolved against the actual hardware; every
+  /// transport uses this so tools and tests agree on the effective values.
+  TransportOptions resolved() const {
+    TransportOptions out = *this;
+    // Hardware query, not a thread spawn: bftreg-lint: allow(raw-thread)
+    const size_t hw = std::thread::hardware_concurrency();
+    if (out.loop_shards == 0) out.loop_shards = std::clamp<size_t>(hw, 1, 4);
+    if (out.mailbox_shards == 0) {
+      out.mailbox_shards = std::clamp<size_t>(hw, 2, 8);
+    }
+    return out;
+  }
+};
 
 /// A participant in the protocol. Handlers are always invoked in the
 /// process's execution context. By default that context is singular

@@ -45,7 +45,18 @@ uint64_t RegisterClient::decode_failures() const {
   return total;
 }
 
+RetryPolicy RegisterClient::effective_policy(const OpOptions& opts) const {
+  RetryPolicy policy = opts.retry_policy.value_or(options_.retry);
+  if (opts.deadline != 0) policy.timeout = opts.deadline;
+  return policy;
+}
+
 void RegisterClient::read(uint32_t object, ReadCallback cb) {
+  read(object, OpOptions{}, std::move(cb));
+}
+
+void RegisterClient::read(uint32_t object, const OpOptions& opts,
+                          ReadCallback cb) {
   const SystemConfig& cfg = mux_.config();
   LocalState* state = &state_for(object);
   std::unique_ptr<PendingOp> op;
@@ -72,60 +83,73 @@ void RegisterClient::read(uint32_t object, ReadCallback cb) {
       kind = OpKind::kBcsrRead;
       break;
   }
-  mux_.start(std::move(op), kind, object, options_.retry);
+  mux_.start(std::move(op), kind, object, effective_policy(opts));
 }
 
 void RegisterClient::write(uint32_t object, Bytes value, WriteCallback cb) {
+  write(object, std::move(value), OpOptions{}, std::move(cb));
+}
+
+void RegisterClient::write(uint32_t object, Bytes value, const OpOptions& opts,
+                           WriteCallback cb) {
   mux_.start(std::make_unique<WriteOp>(mux_.config(),
                                        code_ ? &*code_ : nullptr,
                                        &state_for(object), std::move(value),
                                        std::move(cb)),
-             OpKind::kWrite, object, options_.retry);
+             OpKind::kWrite, object, effective_policy(opts));
 }
 
-void RegisterClient::read_batch(std::vector<uint32_t> objects,
+void RegisterClient::read_batch(std::span<const uint32_t> objects,
                                 BatchReadCallback cb) {
   assert(options_.variant != ProtocolVariant::kBcsr &&
          "batched reads need replicated storage");
   assert(!objects.empty());
   assert(objects.size() <= 4096 && "batch exceeds the server-side cap");
+  // The op owns its id list; the caller's span may die with the call.
+  std::vector<uint32_t> owned(objects.begin(), objects.end());
   mux_.start(std::make_unique<BatchReadOp>(mux_.config(), &states_,
-                                           std::move(objects), std::move(cb)),
+                                           std::move(owned), std::move(cb)),
              OpKind::kBatchRead, /*object=*/0, options_.retry);
 }
 
 // --- BlockingRegisterClient -------------------------------------------------
 
-ReadResult BlockingRegisterClient::read(uint32_t object) {
+ReadResult BlockingRegisterClient::read(uint32_t object, const OpOptions& opts) {
   auto promise = std::make_shared<std::promise<ReadResult>>();
   std::future<ReadResult> fut = promise->get_future();
-  client_.transport()->post(client_.id(), [this, object, promise] {
-    client_.read(object,
+  client_.transport()->post(client_.id(), [this, object, opts, promise] {
+    client_.read(object, opts,
                  [promise](const ReadResult& r) { promise->set_value(r); });
   });
   return fut.get();
 }
 
-WriteResult BlockingRegisterClient::write(uint32_t object, Bytes value) {
+WriteResult BlockingRegisterClient::write(uint32_t object, Bytes value,
+                                          const OpOptions& opts) {
   auto promise = std::make_shared<std::promise<WriteResult>>();
   std::future<WriteResult> fut = promise->get_future();
   client_.transport()->post(
-      client_.id(), [this, object, v = std::move(value), promise]() mutable {
-        client_.write(object, std::move(v),
+      client_.id(),
+      [this, object, opts, v = std::move(value), promise]() mutable {
+        client_.write(object, std::move(v), opts,
                       [promise](const WriteResult& r) { promise->set_value(r); });
       });
   return fut.get();
 }
 
 BatchReadResult BlockingRegisterClient::read_batch(
-    std::vector<uint32_t> objects) {
+    std::span<const uint32_t> objects) {
+  // Copy before posting: the caller's span only has to outlive this call,
+  // not the asynchronous hop into the client's context.
+  std::vector<uint32_t> owned(objects.begin(), objects.end());
   auto promise = std::make_shared<std::promise<BatchReadResult>>();
   std::future<BatchReadResult> fut = promise->get_future();
   client_.transport()->post(
-      client_.id(), [this, objs = std::move(objects), promise]() mutable {
-        client_.read_batch(std::move(objs), [promise](const BatchReadResult& r) {
-          promise->set_value(r);
-        });
+      client_.id(), [this, objs = std::move(owned), promise]() mutable {
+        client_.read_batch(std::span<const uint32_t>(objs),
+                           [promise](const BatchReadResult& r) {
+                             promise->set_value(r);
+                           });
       });
   return fut.get();
 }

@@ -31,8 +31,10 @@
 
 #include <cassert>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "codec/mds_code.h"
@@ -62,6 +64,18 @@ struct ClientOptions {
   RetryPolicy retry{};
 };
 
+/// Per-operation overrides, so one slow read can get a tight deadline (or a
+/// critical write extra retries) without mutating the client-wide policy
+/// under every other in-flight operation.
+struct OpOptions {
+  /// Per-attempt deadline in transport ns for this operation; 0 keeps the
+  /// effective policy's own timeout.
+  TimeNs deadline{0};
+  /// Replaces the client-wide RetryPolicy for this operation. `deadline`
+  /// (when nonzero) still overrides the timeout of whichever policy wins.
+  std::optional<RetryPolicy> retry_policy{};
+};
+
 class RegisterClient final : public net::IProcess {
  public:
   RegisterClient(ProcessId self, SystemConfig config, net::Transport* transport,
@@ -70,13 +84,26 @@ class RegisterClient final : public net::IProcess {
   /// Begins a read of `object`; completion (or timeout fallback) is
   /// reported through `cb`. Any number of operations may be in flight.
   void read(uint32_t object, ReadCallback cb);
+  /// Same, with per-operation deadline/retry overrides.
+  void read(uint32_t object, const OpOptions& opts, ReadCallback cb);
 
   /// Begins write(value) on `object`.
   void write(uint32_t object, Bytes value, WriteCallback cb);
+  /// Same, with per-operation deadline/retry overrides.
+  void write(uint32_t object, Bytes value, const OpOptions& opts,
+             WriteCallback cb);
 
   /// Begins a one-round multi-get (replicated variants only; BCSR stores
-  /// coded elements, which the batch wire format does not carry).
-  void read_batch(std::vector<uint32_t> objects, BatchReadCallback cb);
+  /// coded elements, which the batch wire format does not carry). The
+  /// object ids are copied out of `objects` before the call returns; the
+  /// span may reference caller storage of any lifetime.
+  void read_batch(std::span<const uint32_t> objects, BatchReadCallback cb);
+  /// Braced-list convenience: read_batch({1, 2, 3}, cb).
+  void read_batch(std::initializer_list<uint32_t> objects,
+                  BatchReadCallback cb) {
+    read_batch(std::span<const uint32_t>(objects.begin(), objects.size()),
+               std::move(cb));
+  }
 
   void on_message(const net::Envelope& env) override { mux_.on_message(env); }
 
@@ -95,6 +122,7 @@ class RegisterClient final : public net::IProcess {
 
  private:
   LocalState& state_for(uint32_t object);
+  RetryPolicy effective_policy(const OpOptions& opts) const;
 
   OpMux mux_;
   const ClientOptions options_;
@@ -114,9 +142,13 @@ class BlockingRegisterClient {
  public:
   explicit BlockingRegisterClient(RegisterClient& client) : client_(client) {}
 
-  ReadResult read(uint32_t object);
-  WriteResult write(uint32_t object, Bytes value);
-  BatchReadResult read_batch(std::vector<uint32_t> objects);
+  ReadResult read(uint32_t object, const OpOptions& opts = {});
+  WriteResult write(uint32_t object, Bytes value, const OpOptions& opts = {});
+  BatchReadResult read_batch(std::span<const uint32_t> objects);
+  BatchReadResult read_batch(std::initializer_list<uint32_t> objects) {
+    return read_batch(
+        std::span<const uint32_t>(objects.begin(), objects.size()));
+  }
 
  private:
   RegisterClient& client_;

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
+#include "net/transport.h"
 
 namespace bftreg::registers {
 
@@ -58,6 +59,13 @@ struct SystemConfig {
   /// older entries -- tests/extensions_test.cpp demonstrates the history
   /// fix failing the Theorem 3 schedule at max_history = 1.
   size_t max_history{0};
+
+  /// Real-time transport sizing (event-loop shards, handler threads,
+  /// outbound buffering -- see net::TransportOptions). Validated by the
+  /// builder alongside the protocol knobs and consumed by whoever
+  /// constructs the TcpNetwork/ThreadNetwork for this config; the
+  /// simulator ignores it.
+  net::TransportOptions transport{};
 
   /// Object-table shards per server: each server asks its transport for
   /// this many delivery contexts and splits its per-object state across
@@ -146,6 +154,11 @@ class SystemConfig::Builder {
     config_.server_shards = value;
     return *this;
   }
+  /// Transport sizing for the real-time runtimes (0 fields = auto).
+  Builder& transport_options(net::TransportOptions value) {
+    config_.transport = value;
+    return *this;
+  }
 
   /// Protocol-independent sanity only (clients of build() must check the
   /// protocol bound themselves; prefer the build_for_* terminals).
@@ -171,6 +184,19 @@ class SystemConfig::Builder {
     }
     if (config_.server_shards == 0) {
       return Error{Errc::kInvalidArgument, "server_shards must be positive"};
+    }
+    // Transport sizing: 0 means auto, but explicit values must be sane. A
+    // frame must fit in the outbox (header + some payload), and shard
+    // counts beyond 1024 are a typo, not a deployment.
+    if (config_.transport.loop_shards > 1024) {
+      return Error{Errc::kInvalidArgument, "transport.loop_shards > 1024"};
+    }
+    if (config_.transport.mailbox_shards > 1024) {
+      return Error{Errc::kInvalidArgument, "transport.mailbox_shards > 1024"};
+    }
+    if (config_.transport.max_outbox_bytes < 4096) {
+      return Error{Errc::kInvalidArgument,
+                   "transport.max_outbox_bytes below one frame (4096)"};
     }
     return config_;
   }

@@ -1,0 +1,312 @@
+#include "socknet/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "net/transport.h"
+
+namespace bftreg::socknet {
+
+namespace {
+constexpr int kMaxEvents = 128;
+}  // namespace
+
+// --- LoopShard -------------------------------------------------------------
+
+LoopShard::LoopShard() {
+  epoll_fd_ = ::epoll_create1(0);
+  assert(epoll_fd_ >= 0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  assert(wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+LoopShard::~LoopShard() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+TimeNs LoopShard::mono_now() {
+  return static_cast<TimeNs>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void LoopShard::start() {
+  assert(!running_.load());
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void LoopShard::stop() {
+  if (!running_.exchange(false)) return;
+  assert(!on_loop_thread() && "stop() from the loop thread would self-join");
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+}
+
+bool LoopShard::on_loop_thread() const {
+  return thread_.joinable() && std::this_thread::get_id() == thread_.get_id();
+}
+
+void LoopShard::wake() {
+  // Sleep/wake handshake: the eventfd syscall is only needed when the loop
+  // is parked (or parking) in epoll_wait. A busy loop re-checks the queues
+  // under mu_ before it next parks, so enqueue-then-see-!polling_ means the
+  // task is guaranteed to be drained without any wake. When it *is*
+  // parked, coalesce: one unconsumed eventfd write is enough.
+  if (!polling_.load(std::memory_order_acquire)) return;
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void LoopShard::post(std::function<void()> fn) {
+  {
+    MutexLock lock(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void LoopShard::run_after(TimeNs delta_ns, std::function<void()> fn) {
+  {
+    MutexLock lock(mu_);
+    new_timers_.push_back(Timer{mono_now() + delta_ns, 0, std::move(fn)});
+  }
+  // Wake so the loop recomputes its epoll timeout against the new deadline.
+  wake();
+}
+
+void LoopShard::add_fd(int fd, uint32_t events, FdHandler handler) {
+  assert(on_loop_thread());
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  [[maybe_unused]] int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  assert(rc == 0);
+}
+
+void LoopShard::mod_fd(int fd, uint32_t events) {
+  assert(on_loop_thread());
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  [[maybe_unused]] int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  assert(rc == 0);
+}
+
+void LoopShard::del_fd(int fd) {
+  assert(on_loop_thread());
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+bool LoopShard::has_fd(int fd) const {
+  assert(on_loop_thread());
+  return handlers_.count(fd) != 0;
+}
+
+bool LoopShard::drain_tasks() {
+  // Re-arm wake() BEFORE swapping the queue: a post() that lands after this
+  // store is either included in the swap below (its wake was spurious) or
+  // arrives later and issues a fresh eventfd write -- either way the loop
+  // cannot park with work queued.
+  wake_pending_.store(false, std::memory_order_release);
+  // Swap the whole queue out so task bodies (which may post more tasks,
+  // even to this shard) never run under mu_.
+  std::deque<std::function<void()>> tasks;
+  {
+    MutexLock lock(mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& fn : tasks) fn();
+  return !tasks.empty();
+}
+
+int LoopShard::run_timers() {
+  {
+    MutexLock lock(mu_);
+    for (auto& t : new_timers_) {
+      t.seq = ++timer_seq_;
+      heap_.push_back(std::move(t));
+      std::push_heap(heap_.begin(), heap_.end(), [](const Timer& a, const Timer& b) {
+        return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+      });
+    }
+    new_timers_.clear();
+  }
+  const auto later = [](const Timer& a, const Timer& b) {
+    return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+  };
+  for (;;) {
+    if (heap_.empty()) return -1;
+    const TimeNs now = mono_now();
+    if (heap_.front().due > now) {
+      // Round up so we never spin on a sub-millisecond remainder.
+      const TimeNs wait_ms = (heap_.front().due - now + 999'999) / 1'000'000;
+      return static_cast<int>(std::min<TimeNs>(wait_ms, 60'000));
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Timer t = std::move(heap_.back());
+    heap_.pop_back();
+    t.fn();
+  }
+}
+
+void LoopShard::loop() {
+  epoll_event evs[kMaxEvents];
+  bool yielded = false;
+  while (running_.load(std::memory_order_acquire)) {
+    const bool ran_tasks = drain_tasks();
+    const int timeout_ms = run_timers();
+    // Non-blocking poll first: under load the next readiness is usually
+    // already here and the park/wake machinery below never runs.
+    int n = ::epoll_wait(epoll_fd_, evs, kMaxEvents, 0);
+    if (n == 0 && !ran_tasks) {
+      // Nothing at all this pass. Yield once before parking: on a loaded
+      // single-core box the thread about to feed us (a mailbox consumer
+      // mid-handler) is runnable right now, and letting it run turns a
+      // park + eventfd wake + context switch into a plain reschedule
+      // (same heuristic as runtime/mailbox.h pop_wait_consume).
+      if (!yielded) {
+        yielded = true;
+        std::this_thread::yield();
+        continue;
+      }
+      // Park protocol: publish the intent to sleep, then re-check the task
+      // and timer queues under mu_. A poster that enqueued after the drain
+      // above but saw polling_ == false skipped its wake -- this re-check
+      // is what makes that safe (mu_'s acquire/release pairs with the
+      // poster's enqueue; the seq_cst store orders it before the reads).
+      polling_.store(true, std::memory_order_seq_cst);
+      bool queued;
+      {
+        MutexLock lock(mu_);
+        queued = !tasks_.empty() || !new_timers_.empty();
+      }
+      n = ::epoll_wait(epoll_fd_, evs, kMaxEvents, queued ? 0 : timeout_ms);
+      polling_.store(false, std::memory_order_release);
+    }
+    if (n != 0 || ran_tasks) yielded = false;
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t v;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &v, sizeof(v));
+        continue;
+      }
+      // Look the handler up per event: a handler earlier in this batch may
+      // have del_fd()'d this one (e.g. closed a sibling connection).
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      // Keep the closure alive across the call even if it del_fd()s itself.
+      std::shared_ptr<FdHandler> h = it->second;
+      (*h)(evs[i].events);
+    }
+  }
+  // Final drain: stop() posts rundown work (e.g. outbox flushes) before
+  // flipping running_; run what is already queued, then exit. Timers are
+  // dropped by contract.
+  drain_tasks();
+}
+
+// --- EventLoop -------------------------------------------------------------
+
+EventLoop::EventLoop(size_t shards) {
+  shards_.reserve(std::max<size_t>(shards, 1));
+  for (size_t i = 0; i < std::max<size_t>(shards, 1); ++i) {
+    shards_.push_back(std::make_unique<LoopShard>());
+  }
+}
+
+void EventLoop::start() {
+  for (auto& s : shards_) s->start();
+}
+
+void EventLoop::stop() {
+  for (auto& s : shards_) s->stop();
+}
+
+size_t EventLoop::shard_of(const ProcessId& pid) const {
+  // Stable under the endpoint's lifetime AND across runs: hash only the
+  // identity, never a pointer or registration order (tests pin this).
+  uint8_t key[5];
+  key[0] = static_cast<uint8_t>(pid.role);
+  key[1] = static_cast<uint8_t>(pid.index);
+  key[2] = static_cast<uint8_t>(pid.index >> 8);
+  key[3] = static_cast<uint8_t>(pid.index >> 16);
+  key[4] = static_cast<uint8_t>(pid.index >> 24);
+  return fnv1a64(key, sizeof(key)) % shards_.size();
+}
+
+size_t EventLoop::next_conn_shard() {
+  return conn_rr_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+}
+
+bool EventLoop::on_loop_thread() const {
+  for (const auto& s : shards_) {
+    if (s->on_loop_thread()) return true;
+  }
+  return false;
+}
+
+// --- MailboxPool -----------------------------------------------------------
+
+MailboxPool::MailboxPool(size_t shards) {
+  shards_.reserve(std::max<size_t>(shards, 1));
+  for (size_t i = 0; i < std::max<size_t>(shards, 1); ++i) {
+    shards_.push_back(std::make_unique<runtime::MailboxShard>());
+  }
+}
+
+void MailboxPool::start() {
+  threads_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    runtime::MailboxShard* s = shard.get();
+    threads_.emplace_back([s] {
+      auto handle = [](runtime::MailItem& item) {
+        if (item.proc != nullptr) {
+          item.proc->on_message(item.env);
+        } else if (item.fn) {
+          item.fn();
+        }
+      };
+      while (s->pop_wait_consume(handle)) {
+      }
+    });
+  }
+}
+
+void MailboxPool::stop() {
+  for (auto& shard : shards_) shard->stop();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+bool MailboxPool::on_pool_thread() const {
+  const auto self = std::this_thread::get_id();
+  for (const auto& t : threads_) {
+    if (t.joinable() && self == t.get_id()) return true;
+  }
+  return false;
+}
+
+}  // namespace bftreg::socknet

@@ -1,0 +1,196 @@
+// Sharded event loop: the thread model of the TCP transport.
+//
+// A `LoopShard` is one epoll set driven by one thread. Everything the old
+// transport did with dedicated per-endpoint threads -- blocking writers,
+// per-endpoint readers, one global timer thread -- is expressed against
+// this surface instead:
+//
+//   * file descriptors: add_fd/mod_fd/del_fd register a callback per fd;
+//     the loop thread invokes it with the ready epoll event mask. Readers
+//     parse on readiness, writers arm EPOLLOUT on partial writes and
+//     disarm when drained -- no thread ever blocks in a socket call.
+//   * tasks: post() enqueues a closure from any thread (eventfd wake);
+//     the loop thread runs it before the next epoll_wait. This is how
+//     other threads hand fds and flush work to the owning shard.
+//   * timers: run_after() schedules a closure on the shard's timer heap;
+//     the epoll_wait timeout is derived from the nearest deadline. This
+//     absorbs the old dedicated timer thread.
+//
+// `EventLoop` is the pool: N shards, started and stopped together. The
+// shard count is fixed at construction (net::TransportOptions::loop_shards)
+// and *independent of how many endpoints or connections exist* -- that is
+// the point. Work is distributed by hashing: an endpoint's home shard is
+// hash(pid) % N (stable for the endpoint's lifetime; asserted by tests),
+// and accepted connections are spread round-robin so one hot server's
+// client fleet does not serialize behind a single thread.
+//
+// Threading contract:
+//   * post()/run_after() are thread-safe.
+//   * add_fd/mod_fd/del_fd must be called on the shard's own thread
+//     (post() a task to get there). Asserted in debug builds.
+//   * handlers run on the shard thread, one at a time; a handler may
+//     add/del fds of its own shard, including the one it fired for.
+//
+// `MailboxPool` is the matching consolidation of handler threads: a fixed
+// set of MPSC-ring consumers (runtime/mailbox.h) onto which the transport
+// multiplexes every (process, delivery-shard) context. One context maps to
+// exactly one consumer, so the IProcess serialization guarantee holds; the
+// thread count stops scaling with the endpoint count.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/types.h"
+#include "runtime/mailbox.h"
+
+namespace bftreg::socknet {
+
+class LoopShard {
+ public:
+  /// Callback for fd readiness; receives the ready epoll event mask
+  /// (EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP bits).
+  using FdHandler = std::function<void(uint32_t events)>;
+
+  LoopShard();
+  ~LoopShard();
+
+  LoopShard(const LoopShard&) = delete;
+  LoopShard& operator=(const LoopShard&) = delete;
+
+  void start();
+  /// Runs every already-posted task, drops pending timers (the transport
+  /// contract: timers pending at shutdown are dropped), and joins the
+  /// thread. Registered fds are NOT closed -- their owner reclaims them
+  /// after the join, when nothing can race the close.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool on_loop_thread() const;
+
+  /// Enqueues `fn` to run on the loop thread. Thread-safe; never blocks.
+  void post(std::function<void()> fn);
+
+  /// Runs `fn` on the loop thread no earlier than `delta_ns` from now.
+  /// Thread-safe. Pending timers are dropped at stop().
+  void run_after(TimeNs delta_ns, std::function<void()> fn);
+
+  // --- fd registration (loop thread only) ---------------------------------
+
+  void add_fd(int fd, uint32_t events, FdHandler handler);
+  void mod_fd(int fd, uint32_t events);
+  /// Unregisters the handler. Does not close the fd. Safe to call from the
+  /// fd's own handler; a deleted fd's queued events in the current batch
+  /// are skipped.
+  void del_fd(int fd);
+  bool has_fd(int fd) const;
+
+ private:
+  struct Timer {
+    TimeNs due;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  void loop();
+  /// Runs every queued task; returns true when at least one ran (progress
+  /// signal for the park heuristic in loop()).
+  bool drain_tasks();
+  /// Kicks the loop out of epoll_wait. Coalesced: between two drains only
+  /// the first caller pays the eventfd write syscall; later callers see
+  /// wake_pending_ already set and return immediately.
+  void wake();
+  /// Merges newly posted timers, fires the due ones, and returns the
+  /// epoll_wait timeout (ms) until the next deadline (-1 = none).
+  int run_timers();
+  static TimeNs mono_now();
+
+  int epoll_fd_{-1};
+  int wake_fd_{-1};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  /// True while a wake has been issued that the loop has not yet consumed
+  /// (cleared at the top of drain_tasks, before the task swap, so a post
+  /// landing after the clear either joins the in-progress swap or issues a
+  /// fresh -- at worst spurious -- wake; a wake is never lost).
+  std::atomic<bool> wake_pending_{false};
+  /// True only while the loop is parked (or about to park) in epoll_wait.
+  /// wake() skips the eventfd syscall entirely when this is false: the
+  /// loop is busy and rechecks the queues under mu_ before it next parks
+  /// (sleep/wake handshake, same shape as runtime/mailbox.h). On the
+  /// 1-CPU ping-pong path this removes two syscalls per flush cycle.
+  std::atomic<bool> polling_{false};
+
+  Mutex mu_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  std::vector<Timer> new_timers_ GUARDED_BY(mu_);
+
+  // Loop-thread private.
+  std::map<int, std::shared_ptr<FdHandler>> handlers_;
+  std::vector<Timer> heap_;  // min-heap on (due, seq)
+  uint64_t timer_seq_{0};
+};
+
+/// Fixed pool of LoopShards plus the hashing that assigns work to them.
+class EventLoop {
+ public:
+  explicit EventLoop(size_t shards);
+
+  void start();
+  void stop();
+
+  size_t size() const { return shards_.size(); }
+  LoopShard& shard(size_t idx) { return *shards_[idx]; }
+
+  /// Stable home shard for an endpoint: hash(pid) % size(). Listeners,
+  /// dialed connections, and timers of the endpoint live here.
+  size_t shard_of(const ProcessId& pid) const;
+
+  /// Spreads accepted connections across shards (round-robin), so inbound
+  /// load of one hot endpoint is not pinned to its home shard.
+  size_t next_conn_shard();
+
+  bool on_loop_thread() const;
+
+ private:
+  std::vector<std::unique_ptr<LoopShard>> shards_;
+  std::atomic<uint64_t> conn_rr_{0};
+};
+
+/// Fixed pool of mailbox consumers. Contexts (one per process delivery
+/// shard) are assigned round-robin at registration time, so distinct
+/// delivery shards of one process land on distinct consumers whenever the
+/// pool is at least as large as the process's shard count.
+class MailboxPool {
+ public:
+  explicit MailboxPool(size_t shards);
+
+  void start();
+  /// Drains every shard, then joins the consumer threads. Idempotent.
+  void stop();
+
+  size_t size() const { return shards_.size(); }
+
+  /// Assigns the next context to a consumer; returns its index. Call
+  /// before start() (registration time), like Transport::add_process.
+  size_t assign_context() { return next_assign_++ % shards_.size(); }
+
+  runtime::MailboxShard& shard(size_t idx) { return *shards_[idx]; }
+
+  bool on_pool_thread() const;
+
+ private:
+  std::vector<std::unique_ptr<runtime::MailboxShard>> shards_;
+  std::vector<std::thread> threads_;
+  size_t next_assign_{0};
+};
+
+}  // namespace bftreg::socknet

@@ -1,58 +1,67 @@
 // TCP loopback transport: the protocols over a real network stack.
 //
 // Third implementation of net::Transport (after the deterministic
-// simulator and the in-memory thread runtime): every process gets a
-// listening TCP socket on 127.0.0.1; sends ship length-prefixed,
-// MAC-sealed frames through the kernel. Nothing protocol-level changes --
-// the same state machines run unmodified -- which is the point: the
-// paper's algorithms assume only reliable authenticated point-to-point
-// channels, and TCP + the MAC layer provides exactly that.
+// simulator and the in-memory thread runtime): processes exchange
+// length-prefixed, MAC-sealed frames through the kernel. Nothing
+// protocol-level changes -- the same state machines run unmodified --
+// which is the point: the paper's algorithms assume only reliable
+// authenticated point-to-point channels, and TCP + the MAC layer provides
+// exactly that.
 //
-// Data plane (rebuilt for throughput; before/after numbers in docs/PERF.md):
+// Thread model (rebuilt for client-fleet scale; numbers in docs/PERF.md):
+// every socket lives on one of N event-loop shards (socknet/event_loop.h)
+// and every handler context on one of M pooled mailbox consumers, so the
+// thread count is N + M regardless of how many endpoints are registered --
+// the previous design spawned reader + writer threads *per endpoint* and
+// topped out around a dozen processes.
 //
 //   Outbound  send() seals a 22-byte header, appends (header, payload) to a
-//             bounded per-destination queue and returns -- no syscall, no
-//             payload concatenation, no blocking I/O under a lock. A
-//             per-endpoint writer thread drains whole queues with sendmsg +
-//             iovec coalescing: every frame pending for a peer goes out in
-//             as few syscalls as IOV_MAX allows. A full queue sheds the
-//             frame (metrics().messages_dropped) instead of growing without
-//             bound; client deadlines (registers::OpMux) retransmit.
+//             bounded per-destination queue and schedules a flush on the
+//             owning shard -- no syscall, no payload concatenation, no
+//             blocking I/O under a lock. The shard drains whole queues with
+//             sendmsg + iovec coalescing; a short write arms EPOLLOUT and
+//             the next readiness wake resumes mid-frame (wr_offset), so no
+//             thread ever parks in a socket call. A full queue sheds the
+//             frame (metrics().messages_dropped); client deadlines
+//             (registers::OpMux) retransmit.
 //
-//   Inbound   one epoll reader thread per endpoint (replacing
-//             thread-per-connection) reads into large refcounted chunks,
-//             parses frames in place, and delivers payload *views* aliasing
-//             the chunk (common/buffer.h) -- zero payload copies between
-//             the kernel and the handler. Each parsed envelope is published
-//             straight into the destination shard's lock-free MPSC ring
-//             (runtime/mailbox.h): no per-wake closure allocation, no
-//             mailbox mutex on the hot path, and the handler thread starts
-//             draining while the reader is still parsing. Idle handler
-//             threads are futex-parked and woken at most once per
-//             empty->non-empty transition.
+//   Inbound   readiness-driven reads into large refcounted chunks, frames
+//             parsed in place, payload *views* aliasing the chunk
+//             (common/buffer.h) delivered with zero payload copies. Each
+//             parsed envelope is published straight into its delivery
+//             context's lock-free MPSC ring (runtime/mailbox.h).
+//
+//   Duplex    connections are full-duplex: the first authenticated frame
+//             on an accepted connection names the peer, and the endpoint
+//             *adopts* it as the outbound route to that peer. Replies to a
+//             dialed-in client flow back over the client's own connection,
+//             so a server holding F clients costs F sockets, not 2F, and
+//             clients need no listening socket at all (add_process with
+//             listen=false).
 //
 // Scope: single-host loopback (the offline build environment has no
 // external network). The wire format is position-independent, so pointing
 // the address book at remote hosts is a config change, not a code change.
 #pragma once
 
+#include <sys/types.h>
+
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <queue>
-#include <thread>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/sync.h"
 #include "common/types.h"
 #include "crypto/auth.h"
 #include "net/transport.h"
 #include "runtime/mailbox.h"
+#include "socknet/event_loop.h"
 
 namespace bftreg::socknet {
 
@@ -60,19 +69,11 @@ struct TcpConfig {
   uint64_t master_secret{0x5eC4e7B17e5eCBA5ULL};
   /// Listening address (loopback only in this build).
   const char* host{"127.0.0.1"};
-  /// Per-destination outbound queue cap in bytes (headers + payloads). A
-  /// send() that would push a non-empty queue past the cap is shed and
-  /// counted in metrics().messages_dropped; a single frame larger than the
-  /// cap is still accepted so jumbo payloads cannot deadlock themselves.
-  size_t max_outbox_bytes{32 * 1024 * 1024};
-  /// Receive chunk size: frames are parsed in place inside chunks of this
-  /// capacity (grown per-frame when a single frame is larger).
-  size_t recv_chunk_bytes{256 * 1024};
-  /// Cap on pooled receive chunks per endpoint. Chunks are recycled through
-  /// a free list when the last payload view into them dies; without the
-  /// pool, large-payload workloads pay an mmap + page-fault round trip per
-  /// message (measured ~330 soft faults per 1 MiB frame).
-  size_t recv_pool_bytes{64 * 1024 * 1024};
+  /// Transport sizing: event-loop shards, mailbox consumers, outbox cap,
+  /// receive chunk/pool sizes. Zero fields resolve to hardware defaults
+  /// (net::TransportOptions::resolved). SystemConfig::Builder validates
+  /// and carries the same struct for deployments built from a config.
+  net::TransportOptions options{};
 };
 
 class TcpNetwork final : public net::Transport {
@@ -83,25 +84,31 @@ class TcpNetwork final : public net::Transport {
   TcpNetwork(const TcpNetwork&) = delete;
   TcpNetwork& operator=(const TcpNetwork&) = delete;
 
-  /// Registers a process: binds a listening socket on an ephemeral port
-  /// and records it in the address book. Call before start().
-  void add_process(const ProcessId& pid, net::IProcess* process);
+  /// Registers a process and records it in the address book. Call before
+  /// start(). With `listen` (the default) the endpoint binds a listening
+  /// socket on an ephemeral port; `listen=false` registers a dial-out-only
+  /// endpoint (a client): it reaches servers by connecting and receives
+  /// replies over its own connections, so a 10k-client fleet does not pay
+  /// 10k listening sockets. Sends *to* a listen-less endpoint are shed
+  /// (metrics().messages_dropped) unless a connection from it was adopted.
+  void add_process(const ProcessId& pid, net::IProcess* process,
+                   bool listen = true);
 
-  /// Spawns the reader/writer/mailbox threads and delivers on_start() to
-  /// every process (on its mailbox thread, like the other runtimes).
+  /// Starts the loop shards + mailbox pool and delivers on_start() to
+  /// every process (on its mailbox consumer, like the other runtimes).
   void start();
 
   /// Closes sockets and joins all threads.
   ///
-  /// Contract: idempotent -- only the first call (the winner of the
-  /// `running_` exchange) performs the shutdown; later or concurrent calls
-  /// return immediately without waiting for it to finish. Must be called
-  /// from an *external* thread (the owner or any client thread), never from
-  /// a mailbox, reader, or writer thread: stop() joins those threads and
-  /// would self-deadlock. Asserted in debug builds.
+  /// Contract: idempotent, and a documented no-op before start() -- both
+  /// reduce to "only the winner of the `running_` exchange performs the
+  /// shutdown"; later, concurrent, or premature calls return immediately.
+  /// Must be called from an *external* thread (the owner or any client
+  /// thread), never from a loop shard or mailbox consumer: stop() joins
+  /// those threads and would self-deadlock. Asserted in debug builds.
   void stop();
 
-  /// The port a process listens on (for logging / external tooling).
+  /// The port a process listens on (0 for listen-less endpoints).
   uint16_t port_of(const ProcessId& pid) const;
 
   // --- net::Transport -----------------------------------------------------
@@ -113,48 +120,98 @@ class TcpNetwork final : public net::Transport {
                   std::function<void()> fn) override;
   net::NetworkMetrics& metrics() override { return metrics_; }
 
-  // --- test hooks ----------------------------------------------------------
+  // --- TestHooks ------------------------------------------------------------
 
-  /// Receive-path accounting for the zero-copy guarantee: the only payload
-  /// bytes ever copied on delivery are partial-frame tails carried across a
-  /// chunk roll (bounded by one chunk, independent of payload size).
-  struct RecvStats {
-    uint64_t chunks_allocated{0};
-    uint64_t tail_bytes_copied{0};
-    uint64_t payload_bytes_delivered{0};
+  /// The one test/diagnostic surface of the transport (replacing the old
+  /// debug_* grab-bag). Everything here is observation or fault injection
+  /// for tests and the harness; production code must not call it. All
+  /// methods are safe from any external thread while the network runs.
+  class TestHooks {
+   public:
+    /// Receive-path accounting for the zero-copy guarantee: the only
+    /// payload bytes ever copied on delivery are partial-frame tails
+    /// carried across a chunk roll (bounded by one chunk, independent of
+    /// payload size).
+    struct RecvStats {
+      uint64_t chunks_allocated{0};
+      uint64_t tail_bytes_copied{0};
+      uint64_t payload_bytes_delivered{0};
+    };
+
+    /// Write-path accounting for the EPOLLOUT state machine: how often a
+    /// short/blocked write armed EPOLLOUT, how many readiness wakes
+    /// resumed a flush, and how many sendmsg calls transmitted less than
+    /// requested (the partial-write resume path).
+    struct SendStats {
+      uint64_t epollout_arms{0};
+      uint64_t epollout_wakes{0};
+      uint64_t partial_writes{0};
+    };
+
+    RecvStats recv_stats(const ProcessId& pid) const;
+    SendStats send_stats(const ProcessId& pid) const;
+
+    /// Bytes currently queued from `from` toward `to` (headers +
+    /// payloads), counting both unflushed frames and frames waiting on
+    /// socket writability.
+    size_t outbox_bytes(const ProcessId& from, const ProcessId& to) const;
+
+    /// The loop shard that owns `pid`'s listener, dialed connections and
+    /// timers. Pure function of (pid, loop_shards): tests assert the
+    /// mapping is stable across calls and across instances.
+    size_t loop_shard_of(const ProcessId& pid) const;
+
+    /// Fault injection: shuts down every connection accepted by `pid`'s
+    /// endpoint (simulates a peer's socket dying mid-stream; senders must
+    /// reconnect).
+    void shutdown_inbound(const ProcessId& pid);
+
+    /// Pauses/resumes flushing of `pid`'s outbound queues so tests can
+    /// fill the bounded outbox deterministically. stop() overrides a
+    /// pause.
+    void pause_writes(const ProcessId& pid, bool paused);
+
+    /// Pauses/resumes reading on every connection delivering to `pid`
+    /// (disarms EPOLLIN). The peer's kernel buffers then fill and its
+    /// writes go short -- the deterministic way to exercise the EPOLLOUT
+    /// partial-write path.
+    void pause_reads(const ProcessId& pid, bool paused);
+
+   private:
+    friend class TcpNetwork;
+    explicit TestHooks(TcpNetwork& net) : net_(net) {}
+    TcpNetwork& net_;
   };
-  RecvStats recv_stats(const ProcessId& pid) const;
 
-  /// Shuts down every connection accepted by `pid`'s endpoint (simulates a
-  /// peer's socket dying mid-stream; senders must reconnect).
-  void debug_shutdown_inbound(const ProcessId& pid);
-
-  /// Pauses/resumes `pid`'s writer thread so tests can fill the bounded
-  /// outbound queue deterministically. stop() overrides a pause.
-  void debug_pause_writer(const ProcessId& pid, bool paused);
-
-  /// Bytes currently queued from `from` toward `to` (headers + payloads).
-  size_t debug_outbox_bytes(const ProcessId& from, const ProcessId& to) const;
+  TestHooks test_hooks() { return TestHooks(*this); }
 
  private:
   struct Endpoint;
+  struct Conn;
 
   /// Frame header: [u32 length][from pid (5)][to pid (5)][u64 mac]; length
   /// counts everything after itself (addressing + mac + payload).
   static constexpr size_t kHeaderSize = 4 + 5 + 5 + 8;
 
-  /// One sealed outbound frame: fixed header + refcounted payload view. The
-  /// writer thread scatter-gathers both with sendmsg, so the payload is
-  /// never concatenated into a contiguous frame -- and a payload fanned out
-  /// to n peers is shared by all n frames, not copied.
+  /// One sealed outbound frame: fixed header + refcounted payload view.
+  /// Flushes scatter-gather both with sendmsg, so the payload is never
+  /// concatenated into a contiguous frame -- and a payload fanned out to n
+  /// peers is shared by all n frames, not copied.
   struct OutFrame {
     std::array<uint8_t, kHeaderSize> header;
     Payload payload;
   };
 
+  /// Per-destination outbound state (ep->out_mu). `conn` is a routing hint
+  /// only: it may be dereferenced solely on `conn_shard`'s loop thread.
   struct OutQueue {
-    std::deque<OutFrame> pending;
-    size_t pending_bytes{0};
+    std::deque<OutFrame> pending;   // sealed, not yet handed to a conn
+    size_t queued_bytes{0};  // bytes parked in `pending`; claimed frames
+                           // leave the cap at hand-off to the conn
+    bool flush_scheduled{false};
+    Conn* conn{nullptr};
+    size_t conn_shard{0};
+    int failures{0};  // consecutive conn failures; 2 drops the backlog
   };
 
   /// Refcounted receive chunk; delivered payloads alias it via
@@ -178,59 +235,54 @@ class TcpNetwork final : public net::Transport {
     size_t bytes GUARDED_BY(mu){0};
   };
 
-  /// Per-connection reader state (reader thread private).
+  /// Per-connection parse state (owning shard thread private).
   struct ConnState {
     std::shared_ptr<Chunk> chunk;
     size_t parse_pos{0};
   };
 
-  /// Pending post_after timer; fired by the timer thread via post().
-  struct Timer {
-    TimeNs due;
-    uint64_t seq;
-    ProcessId pid;
-    std::function<void()> fn;
-    bool operator>(const Timer& o) const {
-      return due != o.due ? due > o.due : seq > o.seq;
-    }
-  };
-
-  void reader_loop(Endpoint* ep);
-  void writer_loop(Endpoint* ep);
-  void mailbox_loop(runtime::MailboxShard* shard);
-  void timer_loop() EXCLUDES(timer_mu_);
+  // --- cross-thread entry points -------------------------------------------
   void enqueue(Endpoint* ep, std::function<void()> fn);
   void deliver(Endpoint* ep, net::Envelope env);
-  int connect_to(const ProcessId& to);
   Endpoint* find(const ProcessId& pid);
   const Endpoint* find(const ProcessId& pid) const;
   bool on_internal_thread() const;
+  /// Schedules a flush of ep->out[to] on its owning shard if none is
+  /// pending. Never called with out_mu held (posting is a syscall).
+  void schedule_flush(Endpoint* ep, const ProcessId& to);
 
-  // Reader-thread helpers (all private to `ep`'s reader thread).
+  // --- loop-shard helpers (each runs on the shard named in its args) -------
+  void flush_task(size_t shard, Endpoint* ep, ProcessId to);
+  Conn* dial(size_t shard, Endpoint* ep, const ProcessId& to);
+  void register_conn(std::unique_ptr<Conn> conn);
   void accept_ready(Endpoint* ep);
-  bool conn_readable(Endpoint* ep, int fd, ConnState& st);
-  bool parse_frames(Endpoint* ep, ConnState& st);
+  void on_conn_event(Conn* c, uint32_t events);
+  bool read_conn(Conn* c);
+  bool parse_frames(Conn* c);
   bool ensure_recv_space(Endpoint* ep, ConnState& st);
   static std::shared_ptr<Chunk> acquire_chunk(Endpoint* ep, size_t min_cap);
-  void close_conn(Endpoint* ep, int fd);
-
-  // Writer-thread helpers.
-  void flush_to(Endpoint* ep, const ProcessId& to, std::deque<OutFrame>* frames);
-  static bool sendmsg_frames(int fd, std::deque<OutFrame>* frames);
+  bool try_write(Conn* c);
+  ssize_t write_once(Conn* c, size_t* sent_frame_bytes);
+  void update_conn_events(Conn* c);
+  /// Closes `c`, salvages or sheds its backlog, and erases it from the
+  /// shard registry. `c` is invalid after the call; callers must return.
+  void conn_failed(Conn* c);
+  void drain_shard(size_t shard);
 
   crypto::Authenticator auth_;
   TcpConfig config_;
+  net::TransportOptions opts_;  // config_.options.resolved()
   net::NetworkMetrics metrics_;
   std::map<ProcessId, std::unique_ptr<Endpoint>> endpoints_;
   std::atomic<bool> running_{false};
   std::chrono::steady_clock::time_point epoch_;
 
-  Mutex timer_mu_;
-  CondVar timer_cv_;
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timer_queue_
-      GUARDED_BY(timer_mu_);
-  std::thread timer_thread_;
-  std::atomic<uint64_t> timer_seq_{0};
+  EventLoop loop_;
+  MailboxPool mail_;
+  /// shard index -> conns owned by that shard's thread. The vector itself
+  /// is immutable after construction; element s is touched only on shard
+  /// s's loop thread (and in stop(), after the join).
+  std::vector<std::map<int, std::unique_ptr<Conn>>> shard_conns_;
 };
 
 }  // namespace bftreg::socknet

@@ -1,6 +1,7 @@
 #include "workload/workload.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace bftreg::workload {
 
@@ -33,6 +34,35 @@ Bytes make_value(uint64_t seed, uint64_t index, size_t size) {
     if (i % 8 == 7) h = fnv1a64(&h, sizeof(h));
   }
   return out;
+}
+
+namespace {
+
+double zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t k = 1; k <= n; ++k) sum += std::pow(1.0 / static_cast<double>(k), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianKeys::ZipfianKeys(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), zetan_(zeta(n, theta)), rng_(seed) {
+  assert(n > 0);
+  assert(theta >= 0.0 && theta < 1.0);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta(2, theta) / zetan_);
+}
+
+uint64_t ZipfianKeys::next() {
+  const double u = rng_.uniform_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto k = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return k >= n_ ? n_ - 1 : k;
 }
 
 }  // namespace bftreg::workload

@@ -62,4 +62,28 @@ class WorkloadGenerator {
 /// specific write.
 Bytes make_value(uint64_t seed, uint64_t index, size_t size);
 
+/// Zipfian key distribution over [0, n) (Gray et al., "Quickly generating
+/// billion-record synthetic databases"): key k is drawn with probability
+/// proportional to 1 / (k+1)^theta, so a handful of registers absorb most
+/// of the load -- the skew real object stores see, and what the load
+/// generator uses to create hot-register contention. theta in [0, 1);
+/// 0 degenerates to uniform, 0.99 is the YCSB default.
+class ZipfianKeys {
+ public:
+  ZipfianKeys(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;  // sum_{k=1..n} 1/k^theta
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
 }  // namespace bftreg::workload

@@ -157,6 +157,41 @@ TEST(LintQuorumArithmetic, WaiverHonored) {
       "quorum-arithmetic"));
 }
 
+TEST(LintSocknetThread, ThreadOutsideEventLoopFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/socknet/tcp_network.cpp",
+                   "std::thread reader([this] { read_loop(); });\n"),
+      "socknet-thread"));
+}
+
+TEST(LintSocknetThread, EventLoopPoolExempt) {
+  // The shard pool and the mailbox consumers are the transport's only
+  // legitimate thread spawns.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/socknet/event_loop.cpp",
+                   "threads_.emplace_back(std::thread([this] { loop(); }));\n"),
+      "socknet-thread"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/socknet/event_loop.h", "std::thread thread_;\n"),
+      "socknet-thread"));
+}
+
+TEST(LintSocknetThread, OtherLayersNotCovered) {
+  // src/runtime keeps its thread allowance; this rule is socknet-only.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/runtime/thread_network.cpp",
+                   "std::thread t([&] { pump(); });\n"),
+      "socknet-thread"));
+}
+
+TEST(LintSocknetThread, WaiverHonored) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/socknet/tcp_network.cpp",
+                   "// one-shot drain helper: bftreg-lint: allow(socknet-thread)\n"
+                   "std::thread t([&] { drain(); });\n"),
+      "socknet-thread"));
+}
+
 TEST(LintLegacySingleOp, BusyCallSitesFlaggedOutsideRegisters) {
   EXPECT_TRUE(has_rule(
       lint_content("src/harness/sim_cluster.cpp",
@@ -750,7 +785,9 @@ TEST(LintSarif, GoldenDocument) {
       "        {\"id\": \"atomic-in-ring\", \"shortDescription\": {\"text\": "
       "\"implicit seq_cst atomic access in the lock-free delivery path\"}},\n"
       "        {\"id\": \"quorum-arithmetic\", \"shortDescription\": {\"text\": "
-      "\"quorum-sized arithmetic outside config.h\"}}\n"
+      "\"quorum-sized arithmetic outside config.h\"}},\n"
+      "        {\"id\": \"socknet-thread\", \"shortDescription\": {\"text\": "
+      "\"std::thread in src/socknet outside the event-loop shard pool\"}}\n"
       "      ]\n"
       "    }},\n"
       "    \"results\": [\n"

@@ -103,6 +103,45 @@ TEST(HarnessTest, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(ZipfianKeysTest, DeterministicAndInRange) {
+  workload::ZipfianKeys a(64, 0.99, 42);
+  workload::ZipfianKeys b(64, 0.99, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k = a.next();
+    EXPECT_LT(k, 64u);
+    EXPECT_EQ(k, b.next());  // same seed, same stream
+  }
+}
+
+TEST(ZipfianKeysTest, SkewConcentratesOnHotKeys) {
+  // At theta = 0.99 over 1000 keys the ten hottest keys absorb a large
+  // share of draws; uniform would give them 1%.
+  workload::ZipfianKeys z(1000, 0.99, 7);
+  constexpr int kDraws = 20000;
+  int hot = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.next() < 10) ++hot;
+  }
+  EXPECT_GT(hot, kDraws / 4);
+  // ...and the tail is still reachable.
+  workload::ZipfianKeys tail(1000, 0.99, 8);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < kDraws; ++i) max_seen = std::max(max_seen, tail.next());
+  EXPECT_GT(max_seen, 500u);
+}
+
+TEST(ZipfianKeysTest, ZeroThetaIsUniform) {
+  workload::ZipfianKeys z(100, 0.0, 3);
+  constexpr int kDraws = 50000;
+  int first_decile = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.next() < 10) ++first_decile;
+  }
+  // 10% expected; allow generous sampling slack.
+  EXPECT_GT(first_decile, kDraws / 20);
+  EXPECT_LT(first_decile, kDraws / 5);
+}
+
 TEST(HarnessTest, MinServersMatchesPaperBounds) {
   EXPECT_EQ(harness::min_servers(harness::Protocol::kBsr, 1), 5u);
   EXPECT_EQ(harness::min_servers(harness::Protocol::kBsr, 2), 9u);

@@ -718,6 +718,18 @@ void line_rules(const std::string& rel_path, const Prepared& p,
            "std::thread outside src/runtime, src/socknet, src/harness; "
            "protocol code must stay single-threaded per process");
     }
+    // Within the TCP transport the thread budget is the event loop's:
+    // N loop shards + M mailbox consumers, all owned by event_loop.{h,cpp}.
+    // Any other std::thread in src/socknet/ reintroduces the
+    // thread-per-endpoint design the shard rewrite removed.
+    if (starts_with(rel_path, "src/socknet/") &&
+        rel_path != "src/socknet/event_loop.h" &&
+        rel_path != "src/socknet/event_loop.cpp" &&
+        std::regex_search(code, kRawThread)) {
+      flag(i, "socknet-thread",
+           "std::thread in src/socknet outside event_loop.{h,cpp}; transport "
+           "threads belong to the LoopShard / MailboxPool budget");
+    }
     if (std::regex_search(code, kDetach)) {
       flag(i, "detach",
            "detached threads outlive their transport; join via stop() instead");
@@ -1323,6 +1335,8 @@ constexpr RuleMeta kRuleCatalog[] = {
      "implicit seq_cst atomic access in the lock-free delivery path"},
     // Appended last: ruleIndex values above are frozen by the SARIF golden.
     {"quorum-arithmetic", "quorum-sized arithmetic outside config.h"},
+    {"socknet-thread",
+     "std::thread in src/socknet outside the event-loop shard pool"},
 };
 
 }  // namespace

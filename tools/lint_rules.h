@@ -97,6 +97,12 @@
 //                       on and costs a full fence on weakly-ordered
 //                       targets. Multi-line calls are handled by a bounded
 //                       paren-balanced look-ahead.
+//   socknet-thread      std::thread inside src/socknet/ anywhere but
+//                       event_loop.{h,cpp}. The transport's entire thread
+//                       budget is the LoopShard pool + MailboxPool
+//                       consumers; a thread spawned elsewhere in the
+//                       transport is the per-endpoint reader/writer design
+//                       creeping back in.
 //
 // A finding can be waived by putting `bftreg-lint: allow(<rule>)` in a
 // comment on the offending line or the line directly above it, with a
