@@ -46,6 +46,7 @@
 #include "common/stats.h"
 #include "registers/registers.h"
 #include "socknet/tcp_network.h"
+#include "workload.h"
 #include "workload/workload.h"
 
 namespace bftreg::bench {
@@ -56,6 +57,9 @@ using Clock = std::chrono::steady_clock;
 constexpr size_t kObjects = 64;
 constexpr size_t kValueSize = 128;
 constexpr double kZipfTheta = 0.99;
+/// The paper's motivating mix (99% reads) as a YCSB point: zipfian keys,
+/// a 1% single-writer update stream (bench/workload.h owns the kinds).
+constexpr YcsbMix kLoadgenMix{"loadgen", 0.99, 0.01, 0.0};
 
 /// Raises RLIMIT_NOFILE's soft limit to the hard limit and returns it.
 /// Each client costs two descriptors (both connection ends live in this
@@ -150,7 +154,7 @@ PointResult run_point(size_t fleet, double rate, double duration_s,
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
 
-  workload::ZipfianKeys zipf(kObjects, kZipfTheta, seed);
+  YcsbWorkload mix(kLoadgenMix, KeyDist::kZipfian, kObjects, seed, kZipfTheta);
   Collector collector;
   uint64_t issued = 0;
   uint64_t writes = 0;
@@ -167,8 +171,9 @@ PointResult run_point(size_t fleet, double rate, double duration_s,
     if (intended >= t_end) break;
     std::this_thread::sleep_until(intended);  // no-op once we fall behind
 
-    const auto key = static_cast<uint32_t>(zipf.next());
-    if (issued % 100 == 99) {
+    const YcsbOp op = mix.next();
+    const auto key = static_cast<uint32_t>(op.key);
+    if (op.kind == YcsbOpKind::kUpdate) {
       // SWMR value churn on the zipfian keys, 1% of the op budget.
       net.post(writer.id(), [&writer, &collector, key, intended, seed,
                              w = writes++] {

@@ -1,0 +1,48 @@
+#include "workload.h"
+
+#include <cassert>
+
+namespace bftreg::bench {
+
+const char* to_string(KeyDist dist) {
+  switch (dist) {
+    case KeyDist::kZipfian: return "zipfian";
+    case KeyDist::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+YcsbWorkload::YcsbWorkload(const YcsbMix& mix, KeyDist dist, uint64_t keys,
+                           uint64_t seed, double theta)
+    : mix_(mix), dist_(dist), keys_(keys), rng_(seed) {
+  assert(keys > 0);
+  if (dist == KeyDist::kZipfian) {
+    zipf_.emplace(keys, theta, seed ^ 0x5ca1ab1eULL);
+  }
+}
+
+uint64_t YcsbWorkload::next_key() {
+  if (dist_ == KeyDist::kUniform) return rng_.uniform(keys_);
+  // ScrambledZipfian: the zipfian rank picks *how popular* the key is; the
+  // hash picks *which* key holds that rank, so the hot set is not the first
+  // few ids (which would make every hot key a hash-table neighbor and
+  // flatter the store's cache behavior).
+  const uint64_t rank = zipf_->next();
+  return fnv1a64(&rank, sizeof(rank)) % keys_;
+}
+
+YcsbOp YcsbWorkload::next() {
+  YcsbOp op;
+  op.key = next_key();
+  const double u = rng_.uniform_double();
+  if (u < mix_.read) {
+    op.kind = YcsbOpKind::kRead;
+  } else if (u < mix_.read + mix_.update) {
+    op.kind = YcsbOpKind::kUpdate;
+  } else {
+    op.kind = YcsbOpKind::kReadModifyWrite;
+  }
+  return op;
+}
+
+}  // namespace bftreg::bench

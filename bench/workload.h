@@ -1,0 +1,75 @@
+// YCSB-style operation mixes over a large key space (Cooper et al.,
+// "Benchmarking cloud serving systems with YCSB", SoCC'10).
+//
+// src/workload owns the primitives (make_value, ZipfianKeys, the paper's
+// TAO read ratio); this bench-side layer composes them into the standard
+// YCSB core mixes so every storage/transport bench names its workload the
+// same way:
+//
+//   A  update-heavy   50% read / 50% update
+//   B  read-heavy     95% read /  5% update
+//   C  read-only     100% read
+//   F  read-modify-write  50% read / 50% RMW
+//
+// Keys come from either the YCSB-default zipfian (theta 0.99, rank
+// scrambled with fnv1a64 so the hot set is scattered across the id space,
+// as YCSB's ScrambledZipfian does) or a uniform distribution. Streams are
+// deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace bftreg::bench {
+
+enum class YcsbOpKind : uint8_t { kRead, kUpdate, kReadModifyWrite };
+
+struct YcsbOp {
+  YcsbOpKind kind;
+  uint64_t key;
+};
+
+enum class KeyDist : uint8_t { kZipfian, kUniform };
+
+const char* to_string(KeyDist dist);
+
+/// An operation mix; fractions must sum to 1.
+struct YcsbMix {
+  const char* name;
+  double read;
+  double update;
+  double rmw;
+};
+
+inline constexpr YcsbMix kYcsbA{"ycsb_a", 0.50, 0.50, 0.0};
+inline constexpr YcsbMix kYcsbB{"ycsb_b", 0.95, 0.05, 0.0};
+inline constexpr YcsbMix kYcsbC{"ycsb_c", 1.00, 0.00, 0.0};
+inline constexpr YcsbMix kYcsbF{"ycsb_f", 0.50, 0.00, 0.5};
+
+/// Deterministic stream of YCSB operations over keys [0, keys).
+class YcsbWorkload {
+ public:
+  YcsbWorkload(const YcsbMix& mix, KeyDist dist, uint64_t keys, uint64_t seed,
+               double theta = 0.99);
+
+  YcsbOp next();
+
+  const YcsbMix& mix() const { return mix_; }
+  KeyDist dist() const { return dist_; }
+  uint64_t keys() const { return keys_; }
+
+ private:
+  uint64_t next_key();
+
+  YcsbMix mix_;
+  KeyDist dist_;
+  uint64_t keys_;
+  Rng rng_;
+  /// Engaged only for kZipfian (ZipfianKeys has no trivial state).
+  std::optional<workload::ZipfianKeys> zipf_;
+};
+
+}  // namespace bftreg::bench

@@ -14,11 +14,24 @@
 // own lane, so no per-key client pool -- and no provisioning keys up
 // front -- is needed.
 //
+// With `--keys N` the demo is replaced by a bulk phase: N distinct keys are
+// loaded through the same single multiplexed client (a window of pipelined
+// writes), then a sample is read back through batched one-shot reads. This
+// is the "no longer toy scale" mode -- the compact object store keeps the
+// per-key server footprint flat, so N=100000 runs in the unit suite.
+//
 //   ./build/examples/kv_store
+//   ./build/examples/kv_store --keys 100000
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,15 +49,16 @@ namespace {
 /// to an object id, all served by one multiplexing client.
 class KvStore {
  public:
-  KvStore() {
+  /// `delay_lo_ns`/`delay_hi_ns` bound the emulated one-way network delay.
+  explicit KvStore(uint64_t delay_lo_ns = 50'000,
+                   uint64_t delay_hi_ns = 200'000) {
     auto built = registers::SystemConfig::builder().n(5).f(1).build_for_bsr();
     assert(built.ok());
     config_ = built.value();
 
     runtime::RuntimeConfig rc;
     rc.seed = 7;
-    // Emulate a fast LAN: 50-200 microseconds one-way.
-    rc.delay = std::make_unique<net::UniformDelay>(50'000, 200'000);
+    rc.delay = std::make_unique<net::UniformDelay>(delay_lo_ns, delay_hi_ns);
     net_ = std::make_unique<runtime::ThreadNetwork>(std::move(rc));
 
     for (uint32_t i = 0; i + 1 < config_.n; ++i) {
@@ -99,6 +113,39 @@ class KvStore {
 
   size_t keys() const { return objects_.size(); }
 
+  /// Pipelined bulk load: writes "key:i" -> "v<i>" for i in [0, n) keeping
+  /// up to `window` writes in flight through the one multiplexed client.
+  /// Blocks the calling thread until every write has completed.
+  void bulk_load(size_t n, size_t window) {
+    // Assign object ids up front so the issue loop below never touches the
+    // (non-thread-safe) name table from the client's execution context.
+    std::vector<uint32_t> objects(n);
+    for (size_t i = 0; i < n; ++i) {
+      objects[i] = object_for("key:" + std::to_string(i));
+    }
+    std::mutex m;
+    std::condition_variable cv;
+    size_t completed = 0;
+    size_t next = 0;
+    // Runs only in the client's execution context, so `next` needs no lock:
+    // the mailbox serializes the initial burst and every completion callback.
+    std::function<void()> issue_one = [&] {
+      const size_t i = next++;
+      const std::string value = "v" + std::to_string(i);
+      client_->write(objects[i], Bytes(value.begin(), value.end()),
+                     [&, n](const registers::WriteResult&) {
+                       if (next < n) issue_one();
+                       std::lock_guard<std::mutex> lock(m);
+                       if (++completed == n) cv.notify_one();
+                     });
+    };
+    net_->post(client_->id(), [&, n, window] {
+      for (size_t i = 0; i < std::min(window, n); ++i) issue_one();
+    });
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return completed == n; });
+  }
+
  private:
   uint32_t object_for(const std::string& key) {
     const auto it = objects_.find(key);
@@ -117,9 +164,68 @@ class KvStore {
   std::map<std::string, uint32_t> objects_;
 };
 
+/// Bulk mode (--keys N): load N distinct keys, then spot-check a sample
+/// with batched one-shot reads. Returns the process exit code.
+int run_bulk(size_t n) {
+  std::printf(
+      "byzantine-tolerant kv store, bulk mode\n"
+      "one BSR cluster (n=5, f=1, server 4 Byzantine), %zu keys through one\n"
+      "multiplexed client, real threads, 2-10us one-way delays\n\n",
+      n);
+  // Same-rack delays: bulk mode exists to prove object-count scale, not to
+  // re-measure WAN latency (the default demo already does that).
+  KvStore store(2'000, 10'000);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  store.bulk_load(n, /*window=*/256);
+  const double load_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("loaded %zu keys in %.2f s (%.0f writes/s)\n", n, load_s,
+              static_cast<double>(n) / load_s);
+
+  // Spot-check: one batched one-shot round over a stride of keys must read
+  // back exactly what the bulk phase wrote.
+  std::vector<std::string> sample;
+  const size_t stride = std::max<size_t>(1, n / 64);
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < n; i += stride) indices.push_back(i);
+  for (const size_t i : indices) sample.push_back("key:" + std::to_string(i));
+  const auto batch = store.get_all(sample);
+  size_t bad = 0;
+  for (size_t s = 0; s < indices.size(); ++s) {
+    const std::string want = "v" + std::to_string(indices[s]);
+    if (batch.at(sample[s]) != want) ++bad;
+  }
+  std::printf("spot-check: %zu/%zu sampled keys correct (one batched round)\n",
+              indices.size() - bad, indices.size());
+  if (bad != 0 || store.keys() != n) {
+    std::printf("FAILED\n");
+    return 1;
+  }
+  std::printf("\n%zu keys on one cluster: the compact object store keeps the\n"
+              "per-key server footprint flat, so key count is no longer the\n"
+              "binding constraint -- see docs/PERF.md.\n",
+              n);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  size_t keys = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--keys") == 0 && i + 1 < argc) {
+      keys = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      keys = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--keys N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (keys > 0) return run_bulk(keys);
+
   std::printf(
       "byzantine-tolerant kv store\n"
       "one BSR cluster (n=5, f=1, server 4 Byzantine), one object id per key,\n"

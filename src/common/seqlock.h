@@ -103,7 +103,13 @@ class Seqlock {
  private:
   static constexpr size_t kWords = (sizeof(T) + 7) / 8;
 
-  struct alignas(64) Slot {
+  /// Deliberately NOT alignas(64): per-slot cache-line isolation bought
+  /// nothing (the single writer alternates slots and readers follow it via
+  /// `active`, so writer/reader sharing is inherent to the protocol), and
+  /// the rounding is ruinous for embedders that keep one seqlock per object
+  /// at object-count scale -- a 64-byte payload would cost 320 bytes of
+  /// slots instead of 160.
+  struct Slot {
     std::atomic<uint64_t> seq{0};
     /// Monotonic publish counter, written inside the odd-sequence window so
     /// the validity re-check covers it like any payload word.

@@ -41,6 +41,14 @@ class Serializer {
     buf_.insert(buf_.end(), b.begin(), b.end());
   }
 
+  /// Same wire format from a borrowed view (zero-copy encode paths: the
+  /// register server serializes history straight out of its value slab).
+  void put_bytes(BytesView b) {
+    reserve(4 + b.size());
+    put_u32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
   void put_string(std::string_view s) {
     reserve(4 + s.size());
     put_u32(static_cast<uint32_t>(s.size()));

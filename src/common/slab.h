@@ -1,0 +1,127 @@
+// Slab/arena allocator for the compact object store.
+//
+// Every value and every object-log array used to be its own malloc: at a
+// million objects that is several million allocations, each paying a
+// ~16-byte allocator header and landing wherever the heap had room. The
+// arena replaces them with bump allocation out of 64 KiB chunks plus
+// size-class free lists, so
+//   * a block costs exactly its rounded size -- no per-block header; the
+//     caller (ValueRef / ObjectLog) already tracks the length, and
+//     deallocate() takes the size back, so none needs to be stored;
+//   * freed blocks are reused LIFO within their class (the free block
+//     itself stores the next pointer, which is why the minimum class is
+//     pointer-sized);
+//   * locality follows allocation order, which for the object store means
+//     objects materialized together sit together.
+//
+// Size classes: multiples of 16 up to 1 KiB (exact fit for the store's
+// 40-byte log entries and small values), then powers of two up to the
+// chunk payload; larger blocks fall through to operator new and are
+// tracked so accounting stays truthful.
+//
+// Single-threaded by design: each store shard owns one arena and only its
+// owner thread allocates or frees. No destructor walks: chunks are freed
+// wholesale when the arena dies, so leaking a block into the arena is
+// harmless (it just forgoes reuse).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace bftreg::common {
+
+class SlabArena {
+ public:
+  static constexpr size_t kChunkBytes = 64 * 1024;
+  static constexpr size_t kAlign = 16;
+  static constexpr size_t kLinearLimit = 1024;     // 16-byte classes below
+  static constexpr size_t kMaxClassBytes = 32 * 1024;  // pow2 classes below
+
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  uint8_t* allocate(size_t n) {
+    if (n == 0) n = 1;
+    if (n > kMaxClassBytes) {
+      huge_bytes_ += n;
+      return static_cast<uint8_t*>(::operator new(n));
+    }
+    const size_t cls = class_of(n);
+    if (free_lists_[cls] != nullptr) {
+      uint8_t* block = free_lists_[cls];
+      std::memcpy(&free_lists_[cls], block, sizeof(uint8_t*));
+      live_bytes_ += class_bytes(cls);
+      return block;
+    }
+    const size_t want = class_bytes(cls);
+    if (bump_remaining_ < want) new_chunk();
+    uint8_t* block = bump_;
+    bump_ += want;
+    bump_remaining_ -= want;
+    live_bytes_ += want;
+    return block;
+  }
+
+  void deallocate(uint8_t* p, size_t n) {
+    if (p == nullptr) return;
+    if (n == 0) n = 1;
+    if (n > kMaxClassBytes) {
+      huge_bytes_ -= n;
+      ::operator delete(p);
+      return;
+    }
+    const size_t cls = class_of(n);
+    std::memcpy(p, &free_lists_[cls], sizeof(uint8_t*));
+    free_lists_[cls] = p;
+    live_bytes_ -= class_bytes(cls);
+  }
+
+  /// Rounded bytes currently handed out (excludes free-listed blocks).
+  size_t live_bytes() const { return live_bytes_ + huge_bytes_; }
+  /// Bytes this arena holds from the system: whole chunks + huge blocks.
+  size_t allocated_bytes() const {
+    return chunks_.size() * kChunkBytes + huge_bytes_;
+  }
+
+ private:
+  // Classes 0..63: (c+1)*16 bytes. Classes 64..: 2 KiB, 4 KiB, ... 32 KiB.
+  static constexpr size_t kLinearClasses = kLinearLimit / kAlign;
+  static constexpr size_t kNumClasses = kLinearClasses + 5;
+
+  static size_t class_of(size_t n) {
+    if (n <= kLinearLimit) return (n + kAlign - 1) / kAlign - 1;
+    size_t cls = kLinearClasses;
+    size_t bytes = kLinearLimit * 2;
+    while (bytes < n) {
+      bytes <<= 1;
+      ++cls;
+    }
+    assert(cls < kNumClasses);
+    return cls;
+  }
+
+  static size_t class_bytes(size_t cls) {
+    if (cls < kLinearClasses) return (cls + 1) * kAlign;
+    return kLinearLimit << (cls - kLinearClasses + 1);
+  }
+
+  void new_chunk() {
+    chunks_.push_back(std::make_unique<uint8_t[]>(kChunkBytes));
+    bump_ = chunks_.back().get();
+    bump_remaining_ = kChunkBytes;
+  }
+
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  uint8_t* bump_{nullptr};
+  size_t bump_remaining_{0};
+  uint8_t* free_lists_[kNumClasses]{};
+  size_t live_bytes_{0};
+  size_t huge_bytes_{0};
+};
+
+}  // namespace bftreg::common

@@ -102,6 +102,20 @@ class IProcess {
     (void)env;
     return 0;
   }
+
+  /// Mailbox batch brackets. Transports that drain deliveries in batches
+  /// (runtime mailboxes, socknet consumer pools) call on_batch_begin(shard)
+  /// on `shard`'s delivery thread before a run of consecutive on_message
+  /// calls for this process, and on_batch_end(shard) after the run -- both
+  /// under exactly the same serialization guarantee as on_message itself.
+  /// A begin is always paired with an end on the same thread; batches for
+  /// different shards may be open concurrently. Default: no-op, and
+  /// transports that deliver one message at a time (the simulator) never
+  /// call either -- implementations must not depend on the brackets for
+  /// correctness, only use them to amortize (e.g. the register server's
+  /// write coalescing).
+  virtual void on_batch_begin(uint32_t shard) { (void)shard; }
+  virtual void on_batch_end(uint32_t shard) { (void)shard; }
 };
 
 class Transport {

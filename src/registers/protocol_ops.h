@@ -150,7 +150,8 @@ class TwoRoundReadOp final : public PendingOp {
   ReadCallback cb_;
   Phase phase_{Phase::kGetTag};
   QuorumTracker responded_;
-  std::map<Tag, std::set<ProcessId>> tag_votes_;
+  // Bounded by one get-tag round's responses (<= n), not a value log.
+  std::map<Tag, std::set<ProcessId>> tag_votes_;  // bftreg-lint: allow(unbounded-store)
   Tag target_{};
   std::map<Bytes, std::set<ProcessId>> value_votes_;
 };

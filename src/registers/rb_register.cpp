@@ -52,9 +52,10 @@ RbServer::RbServer(ProcessId self, SystemConfig config, net::Transport* transpor
     : self_(self),
       config_(std::move(config)),
       transport_(transport),
-      initial_(std::move(initial)) {
+      initial_(std::move(initial)),
+      store_(initial_, StorePolicy::kAll, config_.max_history) {
   assert(config_.valid_for_rb());
-  object_store(0);
+  stored_bytes_ += store_.materialize(0).second;
   bracha_ = std::make_unique<broadcast::BrachaPeer>(
       self_, config_.servers(), config_.f,
       [this](const ProcessId& to, Bytes frame) {
@@ -63,13 +64,19 @@ RbServer::RbServer(ProcessId self, SystemConfig config, net::Transport* transpor
       [this](Bytes blob) { on_rb_deliver(blob); });
 }
 
-std::map<Tag, Bytes>& RbServer::object_store(uint32_t object) {
-  auto it = stores_.find(object);
-  if (it == stores_.end()) {
-    it = stores_.emplace(object, std::map<Tag, Bytes>{}).first;
-    it->second.emplace(Tag::initial(), initial_);
+std::vector<TaggedValue> RbServer::store(uint32_t object) const {
+  std::vector<TaggedValue> out;
+  const auto* rec = store_.find(object);
+  if (rec == nullptr) {
+    out.push_back(TaggedValue{Tag::initial(), initial_});
+    return out;
   }
-  return it->second;
+  out.reserve(rec->log.size());
+  for (const LogEntry& e : rec->log) {
+    const BytesView v = e.val.view();
+    out.push_back(TaggedValue{e.tag, Bytes(v.begin(), v.end())});
+  }
+  return out;
 }
 
 void RbServer::reply(const ProcessId& to, const RegisterMessage& msg) {
@@ -88,7 +95,8 @@ void RbServer::on_message(const net::Envelope& env) {
       resp.type = MsgType::kTagResp;
       resp.op_id = msg->op_id;
       resp.object = msg->object;
-      resp.tag = object_store(msg->object).rbegin()->first;
+      const auto* rec = store_.find(msg->object);
+      resp.tag = rec != nullptr ? rec->log.newest().tag : Tag::initial();
       reply(env.from, resp);
       break;
     }
@@ -122,7 +130,11 @@ void RbServer::on_rb_deliver(const Bytes& blob) {
   auto b = decode_blob(blob);
   if (!b) return;
 
-  const bool added = object_store(b->object).emplace(b->tag, b->value).second;
+  const auto res = store_.apply(b->object, b->tag, b->value);
+  stored_bytes_ = static_cast<size_t>(static_cast<long long>(stored_bytes_) +
+                                      res.bytes_delta);
+  const bool added = res.added;
+  if (added) store_.publish(*res.rec);
 
   RegisterMessage ack;
   ack.type = MsgType::kAck;
@@ -147,13 +159,21 @@ void RbServer::on_rb_deliver(const Bytes& blob) {
 
 void RbServer::handle_query(const ProcessId& from, const RegisterMessage& msg) {
   subscribers_[from] = {msg.op_id, msg.object};
-  const auto& store = object_store(msg.object);
   RegisterMessage resp;
   resp.type = MsgType::kDataResp;
   resp.op_id = msg.op_id;
   resp.object = msg.object;
-  resp.tag = store.rbegin()->first;
-  resp.value = store.rbegin()->second;
+  // Answer for unknown objects as the lazy initialization without
+  // materializing state (a reader probing random ids must not balloon us).
+  if (const auto* rec = store_.find(msg.object)) {
+    const LogEntry& newest = rec->log.newest();
+    resp.tag = newest.tag;
+    const BytesView v = newest.val.view();
+    resp.value.assign(v.begin(), v.end());
+  } else {
+    resp.tag = Tag::initial();
+    resp.value = initial_;
+  }
   reply(from, resp);
 }
 

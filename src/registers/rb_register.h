@@ -39,6 +39,7 @@
 #include "registers/bsr_writer.h"
 #include "registers/config.h"
 #include "registers/messages.h"
+#include "registers/object_store.h"
 #include "registers/quorum.h"
 
 namespace bftreg::registers {
@@ -54,9 +55,13 @@ class RbServer final : public net::IProcess {
 
   void on_message(const net::Envelope& env) override;
 
-  const std::map<Tag, Bytes>& store(uint32_t object = 0) {
-    return object_store(object);
-  }
+  /// The list L for `object`, materialized into owned pairs (ascending by
+  /// tag); {(t0, initial)} if this server has never heard of the object.
+  std::vector<TaggedValue> store(uint32_t object = 0) const;
+  /// Total payload bytes stored across every object, tracked against
+  /// max_history GC -- the RB baseline pays the same storage-cost metric
+  /// the BSR server reports.
+  size_t stored_bytes() const { return stored_bytes_; }
   const broadcast::BrachaStats& bracha_stats() const { return bracha_->stats(); }
 
  private:
@@ -69,11 +74,15 @@ class RbServer final : public net::IProcess {
   const SystemConfig config_;
   net::Transport* const transport_;
 
-  std::map<Tag, Bytes>& object_store(uint32_t object);
-
   Bytes initial_;
   std::unique_ptr<broadcast::BrachaPeer> bracha_;
-  std::map<uint32_t, std::map<Tag, Bytes>> stores_;  // object -> L
+  /// object -> L, same compact layout as RegisterServer's shards. RB-
+  /// delivery applies every pair (kAll -- the Bracha agreement already
+  /// filtered duplicates), and config_.max_history GC now applies here too
+  /// (it previously did not, so the baseline's logs grew without bound).
+  CompactObjectStore store_;
+  /// Single delivery shard, so a plain counter suffices.
+  size_t stored_bytes_{0};
   /// reader -> (read op_id, object being read)
   std::map<ProcessId, std::pair<uint64_t, uint32_t>> subscribers_;
 };

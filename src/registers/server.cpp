@@ -8,95 +8,22 @@
 
 namespace bftreg::registers {
 
-// --- NewestCache ------------------------------------------------------------
-
-void NewestCache::publish(const Tag& tag, const Bytes& value) {
-  InlineEntry entry;
-  entry.tag_num = tag.num;
-  entry.writer_index = tag.writer.index;
-  entry.writer_role = static_cast<uint8_t>(tag.writer.role);
-  if (value.size() <= kInlineValueCap) {
-    entry.oversize = 0;
-    entry.len = static_cast<uint16_t>(value.size());
-    if (!value.empty()) std::memcpy(entry.data, value.data(), value.size());
-  } else {
-    // Pointer first, sentinel second: a reader that observes the sentinel
-    // through the seqlock's release/acquire pair also observes this store.
-    oversize_.store(std::make_shared<const TaggedValue>(TaggedValue{tag, value}),
-                    std::memory_order_release);
-    entry.oversize = 1;
-  }
-  inline_.publish(entry);
-}
-
-bool NewestCache::read(Tag* tag, Bytes* value) const {
-  InlineEntry entry;
-  if (!inline_.read(&entry)) return false;
-  if (entry.oversize != 0) {
-    // The pointee is immutable and carries its own tag, so even if the
-    // pointer has advanced past the snapshot we read, the pair returned is
-    // self-consistent (and newer -- monotonic, like the seqlock itself).
-    const auto pair = oversize_.load(std::memory_order_acquire);
-    if (pair == nullptr) return false;  // unreachable; defensive
-    *tag = pair->tag;
-    if (value != nullptr) *value = pair->value;
-    return true;
-  }
-  *tag = Tag{entry.tag_num,
-             ProcessId{static_cast<Role>(entry.writer_role), entry.writer_index}};
-  if (value != nullptr) value->assign(entry.data, entry.data + entry.len);
-  return true;
-}
-
-// --- NewestCacheIndex -------------------------------------------------------
-
-void NewestCacheIndex::insert(uint32_t object, const NewestCache* cache) {
-  auto node = std::make_unique<Node>();
-  node->object = object;
-  node->cache = cache;
-  std::atomic<Node*>& head = heads_[object & (kBuckets - 1)];
-  node->next = head.load(std::memory_order_relaxed);
-  Node* raw = node.get();
-  nodes_.push_back(std::move(node));
-  // Publication point: the release pairs with find()'s acquire, ordering
-  // the node's fields (and everything reachable through them) before any
-  // reader can traverse to it.
-  head.store(raw, std::memory_order_release);
-}
-
-const NewestCache* NewestCacheIndex::find(uint32_t object) const {
-  const std::atomic<Node*>& head = heads_[object & (kBuckets - 1)];
-  for (const Node* n = head.load(std::memory_order_acquire); n != nullptr;
-       n = n->next) {
-    if (n->object == object) return n->cache;
-  }
-  return nullptr;
-}
-
-void NewestCacheIndex::collect(std::vector<uint32_t>* out) const {
-  for (const std::atomic<Node*>& head : heads_) {
-    for (const Node* n = head.load(std::memory_order_acquire); n != nullptr;
-         n = n->next) {
-      out->push_back(n->object);
-    }
-  }
-}
-
-// --- RegisterServer ---------------------------------------------------------
-
 RegisterServer::RegisterServer(ProcessId self, SystemConfig config,
                                net::Transport* transport, Bytes initial)
     : self_(self),
       config_(std::move(config)),
       transport_(transport),
       initial_(std::move(initial)) {
-  initial_store_.emplace(Tag::initial(), initial_);
   const size_t nshards = std::max<size_t>(1, config_.server_shards);
   shards_.reserve(nshards);
   for (size_t s = 0; s < nshards; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(initial_, config_.store_policy,
+                                              config_.max_history));
   }
-  materialize(0);  // the default register exists from the start
+  // The default register exists from the start.
+  const auto [rec, seeded] = shard_for(0).store.materialize(0);
+  (void)rec;
+  stored_bytes_.fetch_add(seeded, std::memory_order_relaxed);
 }
 
 uint32_t RegisterServer::delivery_shards() const {
@@ -132,42 +59,31 @@ const RegisterServer::Shard& RegisterServer::shard_for(uint32_t object) const {
   return *shards_[owner_shard(object)];
 }
 
-RegisterServer::ObjectState& RegisterServer::materialize(uint32_t object) {
-  Shard& shard = shard_for(object);
-  auto it = shard.objects.find(object);
-  if (it == shard.objects.end()) {
-    it = shard.objects.try_emplace(object).first;  // in place: not movable
-    it->second.log.emplace(Tag::initial(), initial_);
-    stored_bytes_.fetch_add(initial_.size(), std::memory_order_relaxed);
-    it->second.newest.publish(Tag::initial(), initial_);
-    // Index entry last: a cross-shard reader that finds the cache sees it
-    // already holding the {t0, initial} snapshot. Map nodes are stable, so
-    // the pointer survives future inserts.
-    shard.index.insert(object, &it->second.newest);
+std::vector<TaggedValue> RegisterServer::store(uint32_t object) const {
+  std::vector<TaggedValue> out;
+  const auto* rec = shard_for(object).store.find(object);
+  if (rec == nullptr) {
+    out.push_back(TaggedValue{Tag::initial(), initial_});
+    return out;
   }
-  return it->second;
-}
-
-std::map<Tag, Bytes>& RegisterServer::object_store(uint32_t object) {
-  return materialize(object).log;
-}
-
-const std::map<Tag, Bytes>* RegisterServer::find_store(uint32_t object) const {
-  const Shard& shard = shard_for(object);
-  auto it = shard.objects.find(object);
-  return it == shard.objects.end() ? nullptr : &it->second.log;
-}
-
-std::pair<Tag, const Bytes*> RegisterServer::newest_entry(uint32_t object) const {
-  if (const auto* store = find_store(object)) {
-    auto newest = store->rbegin();
-    return {newest->first, &newest->second};
+  out.reserve(rec->log.size());
+  for (const LogEntry& e : rec->log) {
+    const BytesView v = e.val.view();
+    out.push_back(TaggedValue{e.tag, Bytes(v.begin(), v.end())});
   }
-  return {Tag::initial(), &initial_};
+  return out;
+}
+
+std::pair<Tag, Bytes> RegisterServer::newest_entry(uint32_t object) const {
+  const auto* rec = shard_for(object).store.find(object);
+  if (rec == nullptr) return {Tag::initial(), initial_};
+  const LogEntry& newest = rec->log.newest();
+  const BytesView v = newest.val.view();
+  return {newest.tag, Bytes(v.begin(), v.end())};
 }
 
 bool RegisterServer::read_newest(uint32_t object, Tag* tag, Bytes* value) const {
-  const NewestCache* cache = shard_for(object).index.find(object);
+  const NewestCache* cache = shard_for(object).store.index().find(object);
   return cache != nullptr && cache->read(tag, value);
 }
 
@@ -177,11 +93,7 @@ size_t RegisterServer::stored_bytes() const {
   // Quiescent callers only (see header): cross-check the incremental
   // counter against the full walk it replaced.
   size_t walked = 0;
-  for (const auto& shard : shards_) {
-    for (const auto& [object, state] : shard->objects) {
-      for (const auto& [tag, value] : state.log) walked += value.size();
-    }
-  }
+  for (const auto& shard : shards_) walked += shard->store.walk_value_bytes();
   assert(walked == total && "incremental stored_bytes diverged from walk");
 #endif
   return total;
@@ -189,14 +101,17 @@ size_t RegisterServer::stored_bytes() const {
 
 size_t RegisterServer::objects_known() const {
   size_t total = 0;
-  for (const auto& shard : shards_) total += shard->objects.size();
+  for (const auto& shard : shards_) total += shard->store.size();
   return total;
 }
 
 std::vector<uint32_t> RegisterServer::object_ids() const {
   std::vector<uint32_t> out;
+  out.reserve(objects_known());
   for (const auto& shard : shards_) {
-    for (const auto& [object, state] : shard->objects) out.push_back(object);
+    shard->store.for_each([&out](const CompactObjectStore::ObjectRec& rec) {
+      out.push_back(rec.object);
+    });
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -239,13 +154,48 @@ void RegisterServer::handle_query_objects(const ProcessId& from,
   RegisterMessage resp;
   resp.type = MsgType::kObjectsResp;
   resp.op_id = req.op_id;
+  resp.objects.reserve(std::min(kMaxObjects, objects_known()));
   for (const auto& shard : shards_) {
-    shard->index.collect(&resp.objects);
+    shard->store.index().collect(&resp.objects);
     if (resp.objects.size() >= kMaxObjects) break;
   }
   std::sort(resp.objects.begin(), resp.objects.end());
   if (resp.objects.size() > kMaxObjects) resp.objects.resize(kMaxObjects);
   reply(from, resp);
+}
+
+void RegisterServer::on_batch_begin(uint32_t shard) {
+  if (shard >= shards_.size()) return;
+  shards_[shard]->in_batch = true;
+}
+
+void RegisterServer::on_batch_end(uint32_t shard) {
+  if (shard >= shards_.size()) return;
+  Shard& s = *shards_[shard];
+  flush_batch(s);
+  s.in_batch = false;
+  s.batch_read_cache.clear();
+}
+
+void RegisterServer::flush_batch(Shard& shard) {
+  if (!shard.pending_dirty.empty()) {
+    // One publish per touched object, no matter how many puts the batch
+    // applied to it.
+    std::sort(shard.pending_dirty.begin(), shard.pending_dirty.end());
+    shard.pending_dirty.erase(
+        std::unique(shard.pending_dirty.begin(), shard.pending_dirty.end()),
+        shard.pending_dirty.end());
+    for (const uint32_t object : shard.pending_dirty) {
+      if (auto* rec = shard.store.find(object)) shard.store.publish(*rec);
+    }
+    shard.pending_dirty.clear();
+  }
+  if (!shard.pending_out.empty()) {
+    // Replies only after every publish above: an ACK must imply the put is
+    // visible to cross-shard readers (Fig. 3's ack => stored contract).
+    for (auto& [to, msg] : shard.pending_out) reply(to, msg);
+    shard.pending_out.clear();
+  }
 }
 
 void RegisterServer::on_message(const net::Envelope& env) {
@@ -258,6 +208,12 @@ void RegisterServer::on_message(const net::Envelope& env) {
   // Fold the piggybacked epoch in before dispatch: even requests carry the
   // sender's view, so a server that missed an announce converges anyway.
   observe_epoch(msg->epoch);
+  if (msg->type != MsgType::kPutData) {
+    // Any non-put for this shard sees the batch's puts fully published
+    // first, so same-shard reads never observe the coalescing window.
+    Shard& shard = shard_for(msg->object);
+    if (shard.in_batch) flush_batch(shard);
+  }
   switch (msg->type) {
     case MsgType::kQueryTag:
       handle_query_tag(env.from, *msg);
@@ -303,73 +259,65 @@ void RegisterServer::handle_query_tag(const ProcessId& from,
   resp.op_id = req.op_id;
   resp.object = req.object;
   // Seqlock fast path: the newest tag comes from the published snapshot,
-  // not the shard's map (identical answer -- the owner publishes on every
+  // not the shard's table (identical answer -- the owner publishes on every
   // applied put and this handler runs on the owner shard).
   if (!read_newest(req.object, &resp.tag, nullptr)) resp.tag = Tag::initial();
   reply(from, resp);
 }
 
 bool RegisterServer::apply_put(uint32_t object, const Tag& tag, Bytes value) {
-  ObjectState& state = materialize(object);
-  auto& store = state.log;
-  const size_t value_size = value.size();
-  bool added = false;
-  switch (config_.store_policy) {
-    case StorePolicy::kMaxOnly:
-      // Fig. 3 line 5: add only if the tag beats everything in L.
-      if (tag > store.rbegin()->first) {
-        store.emplace(tag, std::move(value));
-        added = true;
-      }
-      break;
-    case StorePolicy::kAll:
-      added = store.emplace(tag, std::move(value)).second;
-      break;
+  Shard& shard = shard_for(object);
+  const auto res = shard.store.apply(object, tag, value);
+  if (res.bytes_delta >= 0) {
+    stored_bytes_.fetch_add(static_cast<size_t>(res.bytes_delta),
+                            std::memory_order_relaxed);
+  } else {
+    stored_bytes_.fetch_sub(static_cast<size_t>(-res.bytes_delta),
+                            std::memory_order_relaxed);
   }
-  if (!added) return false;
+  if (!res.added) return false;
   puts_applied_.fetch_add(1, std::memory_order_relaxed);
-  stored_bytes_.fetch_add(value_size, std::memory_order_relaxed);
-
-  // Optional GC: drop the lowest-tagged entries beyond the budget. The
-  // newest pair always survives, so QUERY-TAG / QUERY-DATA semantics are
-  // untouched; only history-consulting reads feel this.
-  if (config_.max_history > 0) {
-    while (store.size() > config_.max_history) {
-      stored_bytes_.fetch_sub(store.begin()->second.size(),
-                              std::memory_order_relaxed);
-      store.erase(store.begin());
-    }
-  }
 
   // Publish the (possibly unchanged, if an old tag was back-filled) newest
-  // pair; tags only grow, so snapshot versions are tag-monotonic.
-  const auto newest = store.rbegin();
-  state.newest.publish(newest->first, newest->second);
+  // pair; tags only grow, so snapshot versions are tag-monotonic. Inside a
+  // batch the publish is deferred to the flush -- one publish per object
+  // per batch.
+  if (shard.in_batch) {
+    shard.pending_dirty.push_back(object);
+  } else {
+    shard.store.publish(*res.rec);
+  }
 
-  // Wake any readers whose two-round get-data asked for this tag.
-  Shard& shard = shard_for(object);
-  if (auto it = shard.deferred.find({object, tag}); it != shard.deferred.end()) {
+  // Wake any readers whose two-round get-data asked for this tag. The value
+  // comes from the put itself, not a store lookup: GC may already have
+  // dropped the entry (tiny max_history), but the (tag, value) pair we were
+  // asked to witness is right here.
+  if (auto* waiters = shard.deferred.find({object, tag})) {
     RegisterMessage resp;
     resp.type = MsgType::kDataAtResp;
     resp.object = object;
     resp.tag = tag;
-    resp.value = store[tag];
-    for (const auto& [reader, op_id] : it->second) {
+    resp.value = std::move(value);
+    for (const auto& [reader, op_id] : *waiters) {
       resp.op_id = op_id;
-      reply(reader, resp);
       // Unindex the satisfied waiter (its other deferred keys, if any, stay).
-      if (auto rev = shard.deferred_by_op.find({reader, op_id});
-          rev != shard.deferred_by_op.end()) {
-        std::erase(rev->second, std::make_pair(object, tag));
-        if (rev->second.empty()) shard.deferred_by_op.erase(rev);
+      if (auto* rev = shard.deferred_by_op.find({reader, op_id})) {
+        std::erase(*rev, std::make_pair(object, tag));
+        if (rev->empty()) shard.deferred_by_op.erase({reader, op_id});
+      }
+      if (shard.in_batch) {
+        shard.pending_out.emplace_back(reader, resp);
+      } else {
+        reply(reader, resp);
       }
     }
-    shard.deferred.erase(it);
+    shard.deferred.erase({object, tag});
   }
   return true;
 }
 
 void RegisterServer::handle_put_data(const ProcessId& from, RegisterMessage req) {
+  Shard& shard = shard_for(req.object);
   apply_put(req.object, req.tag, std::move(req.value));
   // Fig. 3: the ACK is sent regardless of whether the entry was new.
   RegisterMessage ack;
@@ -377,7 +325,12 @@ void RegisterServer::handle_put_data(const ProcessId& from, RegisterMessage req)
   ack.op_id = req.op_id;
   ack.object = req.object;
   ack.tag = req.tag;
-  reply(from, ack);
+  if (shard.in_batch) {
+    // Held until the batch's publishes land (ack => stored visibly).
+    shard.pending_out.emplace_back(from, std::move(ack));
+  } else {
+    reply(from, ack);
+  }
 }
 
 void RegisterServer::handle_query_data(const ProcessId& from,
@@ -399,13 +352,16 @@ void RegisterServer::handle_query_history(const ProcessId& from,
   resp.type = MsgType::kHistoryResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  if (const auto* store = find_store(req.object)) {
-    resp.history.reserve(store->size());
-    for (const auto& [tag, value] : *store) {
-      resp.history.push_back(TaggedValue{tag, value});
+  if (const auto* rec = shard_for(req.object).store.find(req.object)) {
+    // Borrowed views straight into the log/slab: this handler runs on the
+    // owner shard and encode() happens before we return, so nothing can
+    // mutate the entries underneath the views.
+    resp.history_views.reserve(rec->log.size());
+    for (const LogEntry& e : rec->log) {
+      resp.history_views.emplace_back(e.tag, e.val.view());
     }
   } else {
-    resp.history.push_back(TaggedValue{Tag::initial(), initial_});
+    resp.history_views.emplace_back(Tag::initial(), BytesView(initial_));
   }
   reply(from, resp);
 }
@@ -416,9 +372,9 @@ void RegisterServer::handle_query_tag_history(const ProcessId& from,
   resp.type = MsgType::kTagHistoryResp;
   resp.op_id = req.op_id;
   resp.object = req.object;
-  if (const auto* store = find_store(req.object)) {
-    resp.tags.reserve(store->size());
-    for (const auto& [tag, value] : *store) resp.tags.push_back(tag);
+  if (const auto* rec = shard_for(req.object).store.find(req.object)) {
+    resp.tags.reserve(rec->log.size());
+    for (const LogEntry& e : rec->log) resp.tags.push_back(e.tag);
   } else {
     resp.tags.push_back(Tag::initial());
   }
@@ -427,20 +383,25 @@ void RegisterServer::handle_query_tag_history(const ProcessId& from,
 
 void RegisterServer::handle_query_data_at(const ProcessId& from,
                                           const RegisterMessage& req) {
-  const auto* store = find_store(req.object);
-  const Bytes* value = nullptr;
-  if (store != nullptr) {
-    if (auto it = store->find(req.tag); it != store->end()) value = &it->second;
+  const auto* rec = shard_for(req.object).store.find(req.object);
+  BytesView value;
+  bool found = false;
+  if (rec != nullptr) {
+    if (const LogEntry* e = rec->log.find(req.tag)) {
+      value = e->val.view();
+      found = true;
+    }
   } else if (req.tag == Tag::initial()) {
-    value = &initial_;  // unknown object reads as its lazy initialization
+    value = BytesView(initial_);  // unknown object reads as its lazy init
+    found = true;
   }
-  if (value != nullptr) {
+  if (found) {
     RegisterMessage resp;
     resp.type = MsgType::kDataAtResp;
     resp.op_id = req.op_id;
     resp.object = req.object;
     resp.tag = req.tag;
-    resp.value = *value;
+    resp.value.assign(value.begin(), value.end());
     reply(from, resp);
     return;
   }
@@ -468,6 +429,13 @@ void RegisterServer::handle_query_data_batch(const ProcessId& from,
   constexpr size_t kMaxBatch = 4096;
   const size_t count = std::min(req.objects.size(), kMaxBatch);
 
+  // Batch-scoped read memo: when the mailbox batch carries several of these
+  // requests (fan-in from many readers), each distinct object costs one
+  // seqlock read for the whole batch. Only used inside a batch bracket --
+  // the memo is cleared at on_batch_end, bounding staleness to the batch.
+  Shard& home = shard_for(req.object);
+  const bool memo = home.in_batch;
+
   RegisterMessage resp;
   resp.type = MsgType::kDataBatchResp;
   resp.op_id = req.op_id;
@@ -477,10 +445,17 @@ void RegisterServer::handle_query_data_batch(const ProcessId& from,
   for (size_t i = 0; i < count; ++i) {
     // The request's objects may be owned by other shards; the seqlock
     // snapshots are the one structure safe to read across shard threads.
+    if (memo) {
+      if (const TaggedValue* hit = home.batch_read_cache.find(req.objects[i])) {
+        resp.history.push_back(*hit);
+        continue;
+      }
+    }
     TaggedValue tv;
     if (!read_newest(req.objects[i], &tv.tag, &tv.value)) {
       tv = TaggedValue{Tag::initial(), initial_};
     }
+    if (memo) home.batch_read_cache.try_emplace(req.objects[i], tv);
     resp.history.push_back(std::move(tv));
   }
   reply(from, resp);
@@ -496,18 +471,17 @@ void RegisterServer::handle_read_done(const ProcessId& from,
   // the cancel never touches other readers' waiters. READ-DONE carries the
   // op's object id, so it routes to the shard holding those waiters.
   Shard& shard = shard_for(req.object);
-  auto rev = shard.deferred_by_op.find({from, req.op_id});
-  if (rev == shard.deferred_by_op.end()) return;
-  for (const auto& key : rev->second) {
-    auto it = shard.deferred.find(key);
-    if (it == shard.deferred.end()) continue;
-    auto& waiters = it->second;
-    std::erase_if(waiters, [&](const auto& w) {
+  auto* keys = shard.deferred_by_op.find({from, req.op_id});
+  if (keys == nullptr) return;
+  for (const auto& key : *keys) {
+    auto* waiters = shard.deferred.find(key);
+    if (waiters == nullptr) continue;
+    std::erase_if(*waiters, [&](const auto& w) {
       return w.first == from && w.second == req.op_id;
     });
-    if (waiters.empty()) shard.deferred.erase(it);
+    if (waiters->empty()) shard.deferred.erase(key);
   }
-  shard.deferred_by_op.erase(rev);
+  shard.deferred_by_op.erase({from, req.op_id});
 }
 
 }  // namespace bftreg::registers

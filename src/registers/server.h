@@ -12,13 +12,25 @@
 // table is split into shards keyed hash(object) % shards, and the server
 // asks its transport for one delivery context per shard (delivery_shards /
 // shard_of below). Every message that names an object routes to the shard
-// that owns it, so each shard's std::map state is touched by exactly one
-// mailbox thread and needs no lock. The one cross-shard read -- QUERY-DATA-
-// BATCH, whose object list can span owners -- goes through a per-object
-// seqlock snapshot (common/seqlock.h) of the newest (tag, value) pair,
-// published by the owning shard on every applied put and readable from any
-// thread. QUERY-TAG and QUERY-DATA answer from the same snapshot, keeping
-// the read fast path off the shard's map entirely.
+// that owns it, so each shard's store (a CompactObjectStore -- flat-hash
+// object table, slab-backed logs; see registers/object_store.h) is touched
+// by exactly one mailbox thread and needs no lock. The one cross-shard
+// read -- QUERY-DATA-BATCH, whose object list can span owners -- goes
+// through a per-object seqlock snapshot (common/seqlock.h) of the newest
+// (tag, value) pair, published by the owning shard on every applied put and
+// readable from any thread. QUERY-TAG and QUERY-DATA answer from the same
+// snapshot, keeping the read fast path off the shard's table entirely.
+//
+// Write coalescing: transports that drain mailbox batches bracket each
+// batch with on_batch_begin/on_batch_end. Inside a batch, PUT-DATAs apply
+// to the logs immediately but defer the seqlock publish, the deferred-
+// reader wake-ups, and the ACKs until the batch closes -- so N puts to one
+// hot object cost one publish and one reply sweep instead of N. Any
+// non-put message for the shard flushes first, so same-shard reads never
+// observe the pre-publish window; an ACK is never sent before its put's
+// publish, so the writer-visible semantics (Fig. 3: ack => stored) are
+// exactly the unbatched ones. Transports without batch hooks (the
+// simulator) simply never open a batch and get the immediate-publish path.
 //
 // Supported requests:
 //   QUERY-TAG           -> TAG-RESP(max tag in L)              (get-tag-resp)
@@ -34,90 +46,17 @@
 #pragma once
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
-#include "common/seqlock.h"
+#include "common/flat_hash.h"
 #include "net/transport.h"
 #include "registers/config.h"
 #include "registers/messages.h"
+#include "registers/object_store.h"
 
 namespace bftreg::registers {
-
-/// Lock-free published copy of an object's newest (tag, value) pair.
-/// Written only by the object's owner shard; readable from any thread.
-/// Values up to kInlineValueCap bytes live inside the seqlock snapshot;
-/// larger ones are swapped through an atomic shared_ptr whose pointee is
-/// immutable and self-consistent (tag and value travel together).
-class NewestCache {
- public:
-  /// Largest value carried inline in the seqlock snapshot. BSR control
-  /// messages and BCSR coded elements for small registers fit; bulk values
-  /// take the shared_ptr path.
-  static constexpr size_t kInlineValueCap = 256;
-
-  /// Owner shard only. Publishes (tag, value) as the newest pair.
-  void publish(const Tag& tag, const Bytes& value);
-
-  /// Any thread. Returns false only before the first publish. `value` may
-  /// be null when the caller wants just the tag (QUERY-TAG).
-  bool read(Tag* tag, Bytes* value) const;
-
- private:
-  struct InlineEntry {
-    uint64_t tag_num{0};
-    uint32_t writer_index{0};
-    uint8_t writer_role{0};
-    /// 1: the pair lives in oversize_ (len/data unused).
-    uint8_t oversize{0};
-    uint16_t len{0};
-    uint8_t data[kInlineValueCap]{};
-  };
-
-  common::Seqlock<InlineEntry> inline_;
-  /// Published *before* the inline sentinel that points at it, so a reader
-  /// that sees oversize == 1 always finds the pointer (release/acquire via
-  /// the seqlock's sequence).
-  std::atomic<std::shared_ptr<const TaggedValue>> oversize_;
-};
-
-/// Append-only object -> NewestCache* index, written by one shard thread
-/// and probed lock-free by any thread (QUERY-DATA-BATCH reads objects owned
-/// by other shards through this). Nodes are immutable once the bucket-head
-/// release store publishes them, and objects are never removed, so readers
-/// traverse plain `next` pointers with no further synchronization.
-class NewestCacheIndex {
- public:
-  NewestCacheIndex() = default;
-  NewestCacheIndex(const NewestCacheIndex&) = delete;
-  NewestCacheIndex& operator=(const NewestCacheIndex&) = delete;
-
-  /// Owner shard only; `object` must not already be present.
-  void insert(uint32_t object, const NewestCache* cache);
-
-  /// Any thread; nullptr when the object was never materialized.
-  const NewestCache* find(uint32_t object) const;
-
-  /// Any thread; appends every indexed object id to `out` (unsorted).
-  /// Traverses the same immutable nodes as find(), so it observes at least
-  /// everything published before the call.
-  void collect(std::vector<uint32_t>* out) const;
-
- private:
-  static constexpr size_t kBuckets = 64;  // power of two
-
-  struct Node {
-    uint32_t object;
-    const NewestCache* cache;
-    Node* next;
-  };
-
-  std::atomic<Node*> heads_[kBuckets]{};
-  /// Owns the nodes; touched only by the writing shard thread.
-  std::vector<std::unique_ptr<Node>> nodes_;
-};
 
 class RegisterServer : public net::IProcess {
  public:
@@ -140,21 +79,23 @@ class RegisterServer : public net::IProcess {
   /// rejects them.
   uint32_t shard_of(const net::Envelope& env) const override;
 
+  /// Mailbox batch brackets (write coalescing; see file comment). Called by
+  /// batching transports on the shard's delivery thread.
+  void on_batch_begin(uint32_t shard) override;
+  void on_batch_end(uint32_t shard) override;
+
   // --- introspection (tests, storage accounting for E4) -------------------
   // Read-only and never materializing: asking about an object this server
   // has never stored answers as its lazy initialization {(t0, initial)}
   // without creating state. Callers must be quiescent (no in-flight
-  // deliveries) -- these walk shard-private maps without locks.
+  // deliveries) -- these walk shard-private stores without locks.
 
-  /// The list L for `object`; {(t0, initial)} if this server has never
-  /// heard of the object.
-  const std::map<Tag, Bytes>& store(uint32_t object = 0) const {
-    const auto* s = find_store(object);
-    return s != nullptr ? *s : initial_store_;
-  }
+  /// The list L for `object`, materialized into owned pairs (ascending by
+  /// tag); {(t0, initial)} if this server has never heard of the object.
+  std::vector<TaggedValue> store(uint32_t object = 0) const;
   Tag max_tag(uint32_t object = 0) const { return newest_entry(object).first; }
-  const Bytes& max_value(uint32_t object = 0) const {
-    return *newest_entry(object).second;
+  Bytes max_value(uint32_t object = 0) const {
+    return newest_entry(object).second;
   }
 
   /// Total payload bytes stored across every object (the paper's
@@ -205,60 +146,72 @@ class RegisterServer : public net::IProcess {
   /// so any shard thread may serve it for a recovering peer.
   void handle_query_objects(const ProcessId& from, const RegisterMessage& req);
 
-  /// The mutable list L, materializing {(t0, initial)} on first touch.
-  /// Owner-shard threads (and single-threaded recovery) only.
-  std::map<Tag, Bytes>& object_store(uint32_t object);
-
-  /// Read-only lookup of L: nullptr when this server has never stored a put
-  /// for `object`. Unlike object_store(), never inserts -- read-only
-  /// handlers answer for unknown objects as if the store were its lazy
-  /// initialization {(t0, initial)}, WITHOUT materializing it, so a client
-  /// (or Byzantine peer) querying random object ids cannot balloon server
-  /// state.
-  const std::map<Tag, Bytes>* find_store(uint32_t object) const;
-
-  /// Newest (tag, value) of `object` without creating its store; the value
-  /// pointer aliases either the store or `initial_`.
-  std::pair<Tag, const Bytes*> newest_entry(uint32_t object) const;
+  /// Newest (tag, value) of `object` without creating its store.
+  std::pair<Tag, Bytes> newest_entry(uint32_t object) const;
 
   const ProcessId self_;
   const SystemConfig config_;
   net::Transport* const transport_;
 
  private:
+  struct ObjectTagHash {
+    size_t operator()(const std::pair<uint32_t, Tag>& k) const {
+      const size_t h = std::hash<Tag>{}(k.second);
+      return h ^ (k.first + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+  struct OpKeyHash {
+    size_t operator()(const std::pair<ProcessId, uint64_t>& k) const {
+      const size_t h = std::hash<ProcessId>{}(k.first);
+      return h ^ (k.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+
   /// Everything one mailbox shard owns. No locks: the transport guarantees
   /// all messages for this shard's objects arrive on one thread.
-  struct ObjectState {
-    /// The list L of Fig. 3 / Fig. 6.
-    std::map<Tag, Bytes> log;
-    NewestCache newest;
-  };
   struct Shard {
-    std::map<uint32_t, ObjectState> objects;
+    Shard(const Bytes& initial, StorePolicy policy, size_t max_history)
+        : store(initial, policy, max_history) {}
+
+    /// Object table + per-object logs L + newest snapshots.
+    CompactObjectStore store;
     /// Readers waiting for a tag they asked about that we have not yet
     /// seen: (object, tag) -> [(reader, op_id)].
-    std::map<std::pair<uint32_t, Tag>,
-             std::vector<std::pair<ProcessId, uint64_t>>>
+    common::FlatHashMap<std::pair<uint32_t, Tag>,
+                        std::vector<std::pair<ProcessId, uint64_t>>,
+                        ObjectTagHash>
         deferred;
     /// Reverse index: (reader, op_id) -> the deferred keys that hold its
     /// waiters, so READ-DONE cancels with two targeted lookups instead of
     /// sweeping every deferred entry. An op names one object, so all its
     /// keys land in this shard with it.
-    std::map<std::pair<ProcessId, uint64_t>,
-             std::vector<std::pair<uint32_t, Tag>>>
+    common::FlatHashMap<std::pair<ProcessId, uint64_t>,
+                        std::vector<std::pair<uint32_t, Tag>>, OpKeyHash>
         deferred_by_op;
-    NewestCacheIndex index;
+
+    // --- write-coalescing state (owner thread only) ----------------------
+    /// True between on_batch_begin and on_batch_end for this shard.
+    bool in_batch{false};
+    /// Replies (ACKs and deferred-reader DATA-AT-RESPs) held back until the
+    /// batch's publishes land, in arrival order.
+    std::vector<std::pair<ProcessId, RegisterMessage>> pending_out;
+    /// Objects whose logs changed this batch but whose newest snapshot is
+    /// not yet published. Duplicates allowed; the flush dedups.
+    std::vector<uint32_t> pending_dirty;
+    /// Batch-scoped memo of cross-shard newest reads: several QUERY-DATA-
+    /// BATCHes in one mailbox batch cost one seqlock read per object.
+    common::FlatHashMap<uint32_t, TaggedValue> batch_read_cache;
   };
 
   uint32_t owner_shard(uint32_t object) const;
   Shard& shard_for(uint32_t object);
   const Shard& shard_for(uint32_t object) const;
-  /// Creates (if needed) and returns `object`'s state, publishing the
-  /// {t0, initial} snapshot and index entry on first touch.
-  ObjectState& materialize(uint32_t object);
   /// Cross-shard newest read through the seqlock cache; false when the
   /// object was never materialized (caller answers {t0, initial_}).
   bool read_newest(uint32_t object, Tag* tag, Bytes* value) const;
+  /// Publishes every dirty object's newest pair, then releases the held
+  /// replies, then clears the batch memo. No-op when nothing is pending.
+  void flush_batch(Shard& shard);
 
   void handle_query_tag(const ProcessId& from, const RegisterMessage& req);
   void handle_put_data(const ProcessId& from, RegisterMessage req);
@@ -270,9 +223,6 @@ class RegisterServer : public net::IProcess {
   void handle_query_data_batch(const ProcessId& from, const RegisterMessage& req);
 
   Bytes initial_;
-  /// What store() returns for never-seen objects: the lazy initialization
-  /// {(t0, initial)}, materialized once here instead of per query.
-  std::map<Tag, Bytes> initial_store_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> puts_applied_{0};
   /// Newest membership epoch observed (piggybacked or announced); grows

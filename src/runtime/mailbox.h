@@ -55,6 +55,10 @@ struct MailItem {
   net::IProcess* proc{nullptr};
   net::Envelope env;
   std::function<void()> fn;
+  /// The process delivery shard this item targets (IProcess::shard_of).
+  /// Consumers key their on_batch_begin/on_batch_end brackets on
+  /// (proc, shard) while draining a batch.
+  uint32_t shard{0};
 };
 
 class MailboxShard {

@@ -145,6 +145,7 @@ ThreadNetwork::Mailbox* ThreadNetwork::find(const ProcessId& pid) const {
 }
 
 void ThreadNetwork::enqueue(Mailbox* box, uint32_t shard, MailItem item) {
+  item.shard = shard;
   if (box->shards[shard]->push_item(std::move(item))) {
     metrics_.on_mailbox_overflow();
   }
@@ -162,18 +163,54 @@ void ThreadNetwork::mailbox_loop(Mailbox* box, MailboxShard* shard,
   // is loaded per item -- `item.proc` only discriminates envelope vs task,
   // so an item enqueued before a replace_process delivers to the NEW
   // process, which is indistinguishable from the network being slow.
-  auto handle = [box, active](MailItem& item) {
+  // Batch brackets (IProcess::on_batch_begin/end): a bracket opens lazily
+  // before the first delivery of a ring batch and closes when the batch is
+  // drained -- or early, when a task item interleaves or the loaded process
+  // object changes (replace_process), so a bracketed process never spans
+  // foreign work. A crash observed mid-batch abandons the bracket without
+  // calling on_batch_end: the hooks are amortization-only by contract, and
+  // a revived/replaced process flushes whatever the abandoned bracket left
+  // pending at its next batch (indistinguishable from network delay).
+  net::IProcess* open = nullptr;
+  uint32_t open_shard = 0;
+  auto close_batch = [box, active, &open, &open_shard] {
+    if (open == nullptr) return;
+    active->fetch_add(1, std::memory_order_seq_cst);
+    if (!box->crashed.load(std::memory_order_seq_cst)) {
+      open->on_batch_end(open_shard);
+    }
+    active->fetch_sub(1, std::memory_order_release);
+    open = nullptr;
+  };
+  auto handle = [box, active, &open, &open_shard](MailItem& item) {
     active->fetch_add(1, std::memory_order_seq_cst);
     if (!box->crashed.load(std::memory_order_seq_cst)) {
       if (item.proc != nullptr) {
-        box->process.load(std::memory_order_acquire)->on_message(item.env);
+        net::IProcess* proc = box->process.load(std::memory_order_acquire);
+        if (open != nullptr && (open != proc || open_shard != item.shard)) {
+          open->on_batch_end(open_shard);
+          open = nullptr;
+        }
+        if (open == nullptr) {
+          proc->on_batch_begin(item.shard);
+          open = proc;
+          open_shard = item.shard;
+        }
+        proc->on_message(item.env);
       } else if (item.fn) {
+        if (open != nullptr) {
+          open->on_batch_end(open_shard);
+          open = nullptr;
+        }
         item.fn();
       }
+    } else {
+      open = nullptr;  // crashed: abandon any bracket, never re-enter
     }
     active->fetch_sub(1, std::memory_order_release);
   };
   while (shard->pop_wait_consume(handle)) {
+    close_batch();
   }
 }
 

@@ -280,14 +280,36 @@ void MailboxPool::start() {
   for (auto& shard : shards_) {
     runtime::MailboxShard* s = shard.get();
     threads_.emplace_back([s] {
-      auto handle = [](runtime::MailItem& item) {
+      // Batch brackets (IProcess::on_batch_begin/end), keyed on the item's
+      // (process, delivery-shard): unlike the per-process runtime mailbox,
+      // one pool consumer multiplexes contexts of several processes, so a
+      // bracket closes whenever the next item belongs to a different
+      // context (or is a task), and at the end of every drained batch.
+      net::IProcess* open = nullptr;
+      uint32_t open_shard = 0;
+      auto close_batch = [&open, &open_shard] {
+        if (open == nullptr) return;
+        open->on_batch_end(open_shard);
+        open = nullptr;
+      };
+      auto handle = [&open, &open_shard, &close_batch](runtime::MailItem& item) {
         if (item.proc != nullptr) {
+          if (open != nullptr && (open != item.proc || open_shard != item.shard)) {
+            close_batch();
+          }
+          if (open == nullptr) {
+            item.proc->on_batch_begin(item.shard);
+            open = item.proc;
+            open_shard = item.shard;
+          }
           item.proc->on_message(item.env);
-        } else if (item.fn) {
-          item.fn();
+        } else {
+          close_batch();
+          if (item.fn) item.fn();
         }
       };
       while (s->pop_wait_consume(handle)) {
+        close_batch();
       }
     });
   }

@@ -279,7 +279,7 @@ void TcpNetwork::deliver(Endpoint* ep, net::Envelope env) {
     shard = proc->shard_of(env) % static_cast<uint32_t>(ep->mail_ctx.size());
   }
   if (mail_.shard(ep->mail_ctx[shard])
-          .push_item(runtime::MailItem{proc, std::move(env), nullptr})) {
+          .push_item(runtime::MailItem{proc, std::move(env), nullptr, shard})) {
     metrics_.on_mailbox_overflow();
   }
 }

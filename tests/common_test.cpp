@@ -100,7 +100,7 @@ TEST(SerdeTest, RoundTripsCompositeTypes) {
 
 TEST(SerdeTest, EmptyBytesRoundTrip) {
   Serializer s;
-  s.put_bytes({});
+  s.put_bytes(Bytes{});
   Deserializer d(s.buffer());
   EXPECT_TRUE(d.get_bytes().empty());
   EXPECT_TRUE(d.done());

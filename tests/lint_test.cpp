@@ -157,6 +157,40 @@ TEST(LintQuorumArithmetic, WaiverHonored) {
       "quorum-arithmetic"));
 }
 
+TEST(LintUnboundedStore, TagKeyedMapInRegistersFlagged) {
+  const auto vs = lint_content("src/registers/server.h",
+                               "std::map<Tag, Bytes> log;\n");
+  ASSERT_TRUE(has_rule(vs, "unbounded-store"));
+  EXPECT_EQ(vs.front().line, 1);
+}
+
+TEST(LintUnboundedStore, CompactStoreHeaderAndOtherLayersExempt) {
+  // The compact store header documents the replaced layout; other layers
+  // (tests, harness) may model reference stores freely.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/registers/object_store.h",
+                   "// was: std::map<Tag, Bytes> log;\n"
+                   "std::map<Tag, Bytes> reference;\n"),
+      "unbounded-store"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/harness/sim_cluster.h", "std::map<Tag, Bytes> model;\n"),
+      "unbounded-store"));
+  // TaggedValue-keyed maps are a different (response-bounded) shape.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/registers/protocol_ops.h",
+                   "std::map<TaggedValue, size_t> witnesses_;\n"),
+      "unbounded-store"));
+}
+
+TEST(LintUnboundedStore, WaiverHonored) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/registers/protocol_ops.h",
+                   "// bounded by one round's responses:"
+                   " bftreg-lint: allow(unbounded-store)\n"
+                   "std::map<Tag, std::set<ProcessId>> tag_votes_;\n"),
+      "unbounded-store"));
+}
+
 TEST(LintSocknetThread, ThreadOutsideEventLoopFlagged) {
   EXPECT_TRUE(has_rule(
       lint_content("src/socknet/tcp_network.cpp",
@@ -787,7 +821,9 @@ TEST(LintSarif, GoldenDocument) {
       "        {\"id\": \"quorum-arithmetic\", \"shortDescription\": {\"text\": "
       "\"quorum-sized arithmetic outside config.h\"}},\n"
       "        {\"id\": \"socknet-thread\", \"shortDescription\": {\"text\": "
-      "\"std::thread in src/socknet outside the event-loop shard pool\"}}\n"
+      "\"std::thread in src/socknet outside the event-loop shard pool\"}},\n"
+      "        {\"id\": \"unbounded-store\", \"shortDescription\": {\"text\": "
+      "\"Tag-keyed std::map outside the compact object store\"}}\n"
       "      ]\n"
       "    }},\n"
       "    \"results\": [\n"

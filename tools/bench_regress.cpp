@@ -2,7 +2,7 @@
 //
 //   bench_regress <baseline.json> <current.json> [--max-regress=0.20]
 //
-// Three schemas are understood, selected by the files' "schema" field (both
+// Four schemas are understood, selected by the files' "schema" field (both
 // files must agree):
 //
 //   bftreg-bench-codec-v1      written by `bench_codec --json=PATH`; points
@@ -16,9 +16,17 @@
 //                              plus "/shards=N" for shard-sweep rows,
 //                              metrics msgs_per_sec and mbps of the raw
 //                              data plane.
+//   bftreg-bench-objects-v1    written by `bench_objects --json=PATH`;
+//                              points keyed by (store, workload, dist,
+//                              keys, size), metrics ops_per_sec (higher is
+//                              better) and bytes_per_object -- the one
+//                              CEILING metric: the gate fails when the
+//                              current footprint EXCEEDS baseline *
+//                              (1 + max_regress).
 //
 // Every point present in BOTH files is compared metric by metric; if any
-// current metric falls below baseline * (1 - max_regress), the gate fails
+// current metric falls below baseline * (1 - max_regress) -- or above
+// baseline * (1 + max_regress) for ceiling metrics -- the gate fails
 // (exit 1). Points that exist only on one side (e.g. the CI host lacks
 // AVX2) are reported but do not fail the gate -- hardware variance is not
 // a regression.
@@ -37,10 +45,16 @@
 
 namespace {
 
-/// One comparable point: metric name -> value. Higher is always better
-/// (both schemas report throughput).
+/// One comparable point: metric name -> value. Higher is better for every
+/// metric except the ones ceiling_metric() names.
 using Point = std::map<std::string, double>;
 using PointMap = std::map<std::string, Point>;  // key: schema-specific
+
+/// Metrics where LOWER is better (resource footprints, not throughput):
+/// the gate inverts for these and fails on growth past the tolerance.
+bool ceiling_metric(const std::string& name) {
+  return name == "bytes_per_object";
+}
 
 /// Extracts the numeric value following `"key":` in `obj`, or -1.
 double find_number(const std::string& obj, const std::string& key) {
@@ -81,6 +95,7 @@ bool load(const std::string& path, PointMap* out, std::string* schema) {
   }
   const bool client_schema = *schema == "bftreg-bench-client-v1";
   const bool transport_schema = *schema == "bftreg-bench-transport-v1";
+  const bool objects_schema = *schema == "bftreg-bench-objects-v1";
   while ((pos = text.find('{', pos + 1)) != std::string::npos) {
     const size_t end = text.find('}', pos);
     if (end == std::string::npos) break;
@@ -113,6 +128,21 @@ bool load(const std::string& path, PointMap* out, std::string* schema) {
       }
       p["msgs_per_sec"] = find_number(obj, "msgs_per_sec");
       p["mbps"] = find_number(obj, "mbps");
+    } else if (objects_schema) {
+      const std::string store = find_string(obj, "store");
+      const std::string workload = find_string(obj, "workload");
+      if (store.empty() || workload.empty()) continue;
+      std::snprintf(key, sizeof(key),
+                    "store=%s/workload=%s/dist=%s/keys=%d/size=%d",
+                    store.c_str(), workload.c_str(),
+                    find_string(obj, "dist").c_str(),
+                    static_cast<int>(find_number(obj, "keys")),
+                    static_cast<int>(find_number(obj, "size")));
+      // Footprint rows carry bytes_per_object, throughput rows ops_per_sec;
+      // find_number's -1 for the absent one is dropped by the <= 0 guard in
+      // the comparison loop.
+      p["ops_per_sec"] = find_number(obj, "ops_per_sec");
+      p["bytes_per_object"] = find_number(obj, "bytes_per_object");
     } else {
       const std::string kernel = find_string(obj, "kernel");
       const double n = find_number(obj, "n");
@@ -176,9 +206,11 @@ int main(int argc, char** argv) {
       if (cur_it == c.end()) continue;
       const double cur_v = cur_it->second;
       ++compared;
-      const double floor = base_v * (1.0 - max_regress);
       const double delta = (cur_v - base_v) / base_v * 100.0;
-      if (cur_v < floor) {
+      const bool regressed = ceiling_metric(name)
+                                 ? cur_v > base_v * (1.0 + max_regress)
+                                 : cur_v < base_v * (1.0 - max_regress);
+      if (regressed) {
         ++regressions;
         std::printf("FAIL  %-48s %-13s %8.1f -> %8.1f (%+.1f%%)\n",
                     key.c_str(), name.c_str(), base_v, cur_v, delta);

@@ -85,6 +85,11 @@ const std::regex kOrderedMutex(
 // `x.busy()` / `p->busy()` -- the single-operation guard of the low-level
 // protocol clients.
 const std::regex kBusyCall(R"((\.|->)\s*busy\s*\(\s*\))");
+// A Tag-keyed std::map in the register layer is almost always a per-object
+// value log -- the unbounded-node-count layout the compact store
+// (object_store.h) replaced. Tag-keyed maps bounded by the response set of
+// one operation are fine; waive those.
+const std::regex kUnboundedStore(R"(\bstd\s*::\s*map\s*<\s*Tag\s*,)");
 // Atomic member-function calls whose default memory order is seq_cst. The
 // paren is part of the match so the argument scan knows where to start.
 const std::regex kAtomicOp(
@@ -765,6 +770,15 @@ void line_rules(const std::string& rel_path, const Prepared& p,
            "(use bsr_min_servers/bcsr_min_servers/rb_min_servers/"
            "bcsr_code_dimension)");
     }
+    if (starts_with(rel_path, "src/registers/") &&
+        rel_path != "src/registers/object_store.h" &&
+        std::regex_search(code, kUnboundedStore)) {
+      flag(i, "unbounded-store",
+           "Tag-keyed std::map in the register layer: per-object logs "
+           "belong in CompactObjectStore (src/registers/object_store.h), "
+           "which bounds them with max_history and slab-allocates values; "
+           "waive only maps bounded by one operation's response set");
+    }
     if (rel_path != "src/registers/config.h" &&
         std::regex_search(code, kQuorumArithmetic)) {
       flag(i, "quorum-arithmetic",
@@ -1337,6 +1351,8 @@ constexpr RuleMeta kRuleCatalog[] = {
     {"quorum-arithmetic", "quorum-sized arithmetic outside config.h"},
     {"socknet-thread",
      "std::thread in src/socknet outside the event-loop shard pool"},
+    {"unbounded-store",
+     "Tag-keyed std::map outside the compact object store"},
 };
 
 }  // namespace
